@@ -1,0 +1,154 @@
+package vpim_test
+
+import (
+	"sync"
+	"testing"
+
+	vpim "repro"
+)
+
+func TestHostConfigDefaults(t *testing.T) {
+	host, err := vpim.NewHost(vpim.HostConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Machine().NumRanks() != 1 {
+		t.Error("default host has one rank")
+	}
+	rank, err := host.Machine().Rank(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank.NumDPUs() != 64 || rank.MRAMBytes() != 64<<20 {
+		t.Errorf("default rank: %d DPUs, %d MRAM", rank.NumDPUs(), rank.MRAMBytes())
+	}
+}
+
+func TestPaperHost(t *testing.T) {
+	host, err := vpim.PaperHost(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Machine().NumRanks() != 8 {
+		t.Error("the paper's machine has 8 ranks")
+	}
+	total := 0
+	for _, r := range host.Machine().Ranks() {
+		total += r.NumDPUs()
+	}
+	if total != 480 {
+		t.Errorf("the paper's machine has 480 functional DPUs, got %d", total)
+	}
+}
+
+func TestRegisterWorkloads(t *testing.T) {
+	host, err := vpim.NewHost(vpim.HostConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vpim.RegisterWorkloads(host); err != nil {
+		t.Fatal(err)
+	}
+	// 16 PrIM apps (18 binaries: SCAN has two passes each) + 2 micro.
+	if n := len(host.Registry().Names()); n < 18 {
+		t.Errorf("registered %d binaries, want >= 18", n)
+	}
+	if err := vpim.RegisterWorkloads(host); err == nil {
+		t.Error("double registration must fail (duplicate binaries)")
+	}
+	if len(vpim.PrIMApps()) != 16 {
+		t.Error("PrIMApps must list 16 applications")
+	}
+	if _, err := vpim.LookupPrIM("VA"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceReexports(t *testing.T) {
+	if len(vpim.Phases()) != 4 || len(vpim.Ops()) != 3 || len(vpim.Steps()) != 5 {
+		t.Error("breakdown category lists wrong")
+	}
+	// The returned slices are copies.
+	phases := vpim.Phases()
+	phases[0] = "mutated"
+	if vpim.Phases()[0] == "mutated" {
+		t.Error("Phases must return a copy")
+	}
+}
+
+// TestConcurrentVMs runs two tenants truly concurrently (real goroutines) on
+// one machine: the manager, rank and virtqueue locking must hold up, and
+// each VM's virtual timeline must stay deterministic.
+func TestConcurrentVMs(t *testing.T) {
+	host, err := vpim.NewHost(vpim.HostConfig{Ranks: 2, DPUsPerRank: 8, MRAMBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vpim.RegisterWorkloads(host); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(name string) (vpim.Duration, error) {
+		vm, err := host.NewVM(vpim.VMConfig{Name: name, Options: vpim.FullOptions()})
+		if err != nil {
+			return 0, err
+		}
+		if err := vpim.RunChecksum(vm, vpim.ChecksumParams{DPUs: 8, BytesPerDPU: 1 << 20}); err != nil {
+			return 0, err
+		}
+		return vm.Timeline().Now(), nil
+	}
+
+	var wg sync.WaitGroup
+	times := make([]vpim.Duration, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			times[i], errs[i] = run([]string{"vmA", "vmB"}[i])
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("vm %d: %v", i, err)
+		}
+	}
+	// Both tenants ran the identical workload on identical variants: their
+	// virtual times must match exactly regardless of real interleaving.
+	if times[0] != times[1] {
+		t.Errorf("concurrent tenants diverged: %v vs %v", times[0], times[1])
+	}
+}
+
+// TestDeterministicFullRun pins end-to-end determinism: the same workload on
+// a fresh host yields the identical virtual duration every time.
+func TestDeterministicFullRun(t *testing.T) {
+	run := func() vpim.Duration {
+		host, err := vpim.NewHost(vpim.HostConfig{Ranks: 1, DPUsPerRank: 8, MRAMBytes: 8 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := vpim.RegisterWorkloads(host); err != nil {
+			t.Fatal(err)
+		}
+		vm, err := host.NewVM(vpim.VMConfig{Name: "d", Options: vpim.FullOptions()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := vpim.LookupPrIM("RED")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Run(vm, vpim.PrIMParams{DPUs: 8}); err != nil {
+			t.Fatal(err)
+		}
+		return vm.Timeline().Now()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("identical runs diverged: %v vs %v", a, b)
+	}
+}

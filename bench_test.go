@@ -1,0 +1,382 @@
+package vpim_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	vpim "repro"
+	"repro/internal/bench"
+	"repro/internal/manager"
+	"repro/internal/pim"
+	"repro/internal/prim"
+	"repro/internal/sdk"
+	"repro/internal/upmem"
+	"repro/internal/vmm"
+)
+
+// One benchmark per table/figure of the paper's evaluation (Section 5).
+// Each runs the corresponding experiment once per iteration on the paper's
+// machine shape (8 ranks x 60 DPUs) with the harness's scaled datasets, and
+// reports virtual-time metrics through testing.B. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Set VPIM_BENCH_VERBOSE=1 to stream the harness rows while benchmarking.
+
+func benchWriter() io.Writer {
+	if os.Getenv("VPIM_BENCH_VERBOSE") != "" {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+func benchHarness(b *testing.B) *bench.Harness {
+	b.Helper()
+	return bench.New(benchWriter(), bench.Config{Ranks: 8, DPUsPerRank: 60, ChecksumDivisor: 8})
+}
+
+// runFig runs one harness step per iteration.
+func runFig(b *testing.B, step func(h *bench.Harness) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		h := benchHarness(b)
+		if err := step(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8PrIM regenerates the full 16-application strong-scaling
+// figure. It is the heaviest benchmark; the per-app benchmarks below slice
+// it.
+func BenchmarkFig8PrIM(b *testing.B) {
+	runFig(b, func(h *bench.Harness) error { return h.Fig8(nil) })
+}
+
+// BenchmarkFig8App benchmarks each PrIM application individually at one
+// rank, native vs vPIM, reporting the overhead factor.
+func BenchmarkFig8App(b *testing.B) {
+	for _, app := range prim.Apps() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				h := benchHarness(b)
+				p := prim.Params{DPUs: 60}
+				nat, err := h.RunNative(func(env sdk.Env) error { return app.Run(env, p) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				vp, err := h.RunVM(vmm.Full(), 16, func(env sdk.Env) error { return app.Run(env, p) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				overhead = float64(vp.Total) / float64(nat.Total)
+				b.ReportMetric(float64(nat.Total)/1e6, "native-ms")
+				b.ReportMetric(float64(vp.Total)/1e6, "vpim-ms")
+			}
+			b.ReportMetric(overhead, "overhead-x")
+		})
+	}
+}
+
+func BenchmarkFig9ChecksumVCPUs(b *testing.B) {
+	runFig(b, func(h *bench.Harness) error { return h.Fig9() })
+}
+
+// BenchmarkFig9ChecksumDPUs isolates the Fig. 9b sweep.
+func BenchmarkFig9ChecksumDPUs(b *testing.B) {
+	for _, dpus := range []int{1, 8, 16, 60} {
+		dpus := dpus
+		b.Run(fmt.Sprintf("dpus=%d", dpus), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := benchHarness(b)
+				p := upmem.ChecksumParams{DPUs: dpus, BytesPerDPU: (60 << 20) / 8}
+				vp, err := h.RunVM(vmm.Full(), 16, func(env sdk.Env) error { return upmem.RunChecksum(env, p) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(vp.Total)/1e6, "vpim-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkFig9ChecksumSize isolates the Fig. 9c sweep.
+func BenchmarkFig9ChecksumSize(b *testing.B) {
+	for _, mb := range []int{8, 20, 40, 60} {
+		mb := mb
+		b.Run(fmt.Sprintf("sizeMB=%d", mb), func(b *testing.B) {
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				h := benchHarness(b)
+				p := upmem.ChecksumParams{DPUs: 60, BytesPerDPU: (mb << 20) / 8}
+				nat, err := h.RunNative(func(env sdk.Env) error { return upmem.RunChecksum(env, p) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				vp, err := h.RunVM(vmm.Full(), 16, func(env sdk.Env) error { return upmem.RunChecksum(env, p) })
+				if err != nil {
+					b.Fatal(err)
+				}
+				overhead = float64(vp.Total) / float64(nat.Total)
+			}
+			b.ReportMetric(overhead, "overhead-x")
+		})
+	}
+}
+
+func BenchmarkFig10IndexSearch(b *testing.B) {
+	runFig(b, func(h *bench.Harness) error { return h.Fig10() })
+}
+
+func BenchmarkFig11CEnhancement(b *testing.B) {
+	runFig(b, func(h *bench.Harness) error { return h.Fig11() })
+}
+
+func BenchmarkFig12DriverBreakdown(b *testing.B) {
+	runFig(b, func(h *bench.Harness) error { return h.Fig12() })
+}
+
+func BenchmarkFig13WriteBreakdown(b *testing.B) {
+	runFig(b, func(h *bench.Harness) error { return h.Fig13() })
+}
+
+func BenchmarkFig14NWOptimizations(b *testing.B) {
+	runFig(b, func(h *bench.Harness) error { return h.Fig14() })
+}
+
+func BenchmarkFig15ParallelRanks(b *testing.B) {
+	runFig(b, func(h *bench.Harness) error { return h.Fig15() })
+}
+
+func BenchmarkFig16PerRankLatency(b *testing.B) {
+	runFig(b, func(h *bench.Harness) error { return h.Fig16() })
+}
+
+func BenchmarkBootOverhead(b *testing.B) {
+	runFig(b, func(h *bench.Harness) error { return h.BootOverhead() })
+}
+
+func BenchmarkManagerOverhead(b *testing.B) {
+	runFig(b, func(h *bench.Harness) error { return h.ManagerOverhead() })
+}
+
+// --- Ablations beyond the paper's Table 2 (DESIGN.md "Design choices") ---
+
+// BenchmarkAblationPrefetchPages sweeps the prefetch cache size on NW.
+func BenchmarkAblationPrefetchPages(b *testing.B) {
+	app, err := prim.Lookup("NW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pages := range []int{4, 16, 64} {
+		pages := pages
+		b.Run(fmt.Sprintf("pages=%d", pages), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := benchHarness(b)
+				opts := vmm.Full()
+				opts.Driver.PrefetchPages = pages
+				vp, err := h.RunVM(opts, 16, func(env sdk.Env) error {
+					return app.Run(env, prim.Params{DPUs: 60})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(vp.Total)/1e6, "vpim-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBatchPages sweeps the batch buffer size on NW.
+func BenchmarkAblationBatchPages(b *testing.B) {
+	app, err := prim.Lookup("NW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pages := range []int{8, 64, 256} {
+		pages := pages
+		b.Run(fmt.Sprintf("pages=%d", pages), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := benchHarness(b)
+				opts := vmm.Full()
+				opts.Driver.BatchPages = pages
+				vp, err := h.RunVM(opts, 16, func(env sdk.Env) error {
+					return app.Run(env, prim.Params{DPUs: 60})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(vp.Total)/1e6, "vpim-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSerialVsParallelPush quantifies the paper's takeaway on
+// transfer style: the same data pushed with one parallel transfer vs one
+// serial CopyToMRAM per DPU.
+func BenchmarkAblationSerialVsParallelPush(b *testing.B) {
+	const perDPU = 1 << 20
+	for _, serial := range []bool{false, true} {
+		serial := serial
+		name := "parallel"
+		if serial {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := benchHarness(b)
+				vp, err := h.RunVM(vmm.Full(), 16, func(env sdk.Env) error {
+					set, err := env.AllocSet(60)
+					if err != nil {
+						return err
+					}
+					defer func() { _ = set.Free() }()
+					buf, err := env.AllocBuffer(perDPU)
+					if err != nil {
+						return err
+					}
+					if serial {
+						for d := 0; d < 60; d++ {
+							if err := set.CopyToMRAM(d, 0, buf, perDPU); err != nil {
+								return err
+							}
+						}
+						return nil
+					}
+					for d := 0; d < 60; d++ {
+						if err := set.PrepareXfer(d, buf); err != nil {
+							return err
+						}
+					}
+					return set.PushXfer(sdk.ToDPU, 0, perDPU)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = vp
+				b.ReportMetric(float64(vp.Total)/1e6, "vpim-ms")
+			}
+		})
+	}
+}
+
+// --- Future-work extensions (paper Section 7) ---
+
+// BenchmarkExtensionVhostVsock compares the standard virtio path against
+// the vhost fast path on the transfer-heavy NW workload.
+func BenchmarkExtensionVhostVsock(b *testing.B) {
+	app, err := prim.Lookup("NW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, vhost := range []bool{false, true} {
+		vhost := vhost
+		name := "virtio"
+		if vhost {
+			name = "vhost"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := benchHarness(b)
+				opts := vmm.Full()
+				opts.VhostVsock = vhost
+				vp, err := h.RunVM(opts, 16, func(env sdk.Env) error {
+					return app.Run(env, prim.Params{DPUs: 60})
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(vp.Total)/1e6, "vpim-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionOversubscription measures the simulator fallback's
+// slowdown on checksum when no physical rank is free.
+func BenchmarkExtensionOversubscription(b *testing.B) {
+	for _, oversub := range []bool{false, true} {
+		oversub := oversub
+		name := "physical"
+		if oversub {
+			name = "simulated"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mach, err := pim.NewMachine(pim.MachineConfig{
+					Ranks: 1,
+					Rank:  pim.RankConfig{DPUs: 60},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := upmem.Register(mach.Registry()); err != nil {
+					b.Fatal(err)
+				}
+				mgr := manager.New(mach, manager.Options{})
+				if oversub {
+					// Occupy the only physical rank so the device falls
+					// back to the simulator.
+					if _, _, err := mgr.Alloc("squatter"); err != nil {
+						b.Fatal(err)
+					}
+				}
+				opts := vmm.Full()
+				opts.Oversubscribe = oversub
+				vm, err := vmm.NewVM(mach, mgr, vmm.Config{Name: "o", Options: opts})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p := upmem.ChecksumParams{DPUs: 60, BytesPerDPU: 4 << 20}
+				if err := upmem.RunChecksum(vm, p); err != nil {
+					b.Fatal(err)
+				}
+				var total float64
+				for _, ph := range vpim.Phases() {
+					total += float64(vm.Tracker().Get(ph))
+				}
+				b.ReportMetric(total/1e6, "vpim-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTranslateThreads sweeps the GPA->HVA translation worker
+// count (the prototype fixes 8) on a translation-heavy bulk write.
+func BenchmarkAblationTranslateThreads(b *testing.B) {
+	for _, threads := range []int{1, 4, 8, 16} {
+		threads := threads
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				model := vpim.DefaultModel()
+				model.TranslateThreads = threads
+				host, err := vpim.NewHost(vpim.HostConfig{
+					Ranks: 1, DPUsPerRank: 60, Model: &model,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := vpim.RegisterWorkloads(host); err != nil {
+					b.Fatal(err)
+				}
+				vm, err := host.NewVM(vpim.VMConfig{Name: "t", Options: vpim.FullOptions()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := vpim.RunChecksum(vm, vpim.ChecksumParams{DPUs: 60, BytesPerDPU: 8 << 20}); err != nil {
+					b.Fatal(err)
+				}
+				var total float64
+				for _, ph := range vpim.Phases() {
+					total += float64(vm.Tracker().Get(ph))
+				}
+				b.ReportMetric(total/1e6, "vpim-ms")
+			}
+		})
+	}
+}

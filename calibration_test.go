@@ -1,0 +1,177 @@
+package vpim_test
+
+import (
+	"testing"
+	"time"
+
+	vpim "repro"
+	"repro/internal/bench"
+	"repro/internal/prim"
+	"repro/internal/sdk"
+	"repro/internal/trace"
+	"repro/internal/upmem"
+	"repro/internal/vmm"
+)
+
+// These tests pin the cost model to the paper's headline observations: if a
+// refactor moves a ratio out of its band, the reproduction no longer tells
+// the paper's story. Bands are deliberately generous — the goal is shape,
+// not digit-matching (see EXPERIMENTS.md).
+
+func harness(t *testing.T) *bench.Harness {
+	t.Helper()
+	return bench.New(discard{}, bench.Config{Ranks: 8, DPUsPerRank: 60, ChecksumDivisor: 8})
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func runChecksum(t *testing.T, h *bench.Harness, dpus, size int, opts vmm.Options) (nat, vp bench.Result) {
+	t.Helper()
+	p := upmem.ChecksumParams{DPUs: dpus, BytesPerDPU: size}
+	nat, err := h.RunNative(func(env sdk.Env) error { return upmem.RunChecksum(env, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err = h.RunVM(opts, 16, func(env sdk.Env) error { return upmem.RunChecksum(env, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nat, vp
+}
+
+// TestCalibrationChecksumSizeTrend: Fig. 9c — overhead decreases with
+// transfer size, staying within the paper's neighborhood (2.33x at the small
+// end, 1.29x at the large end).
+func TestCalibrationChecksumSizeTrend(t *testing.T) {
+	h := harness(t)
+	nat8, vp8 := runChecksum(t, h, 60, 8<<20, vpim.FullOptions())
+	nat60, vp60 := runChecksum(t, h, 60, 60<<20, vpim.FullOptions())
+	small := float64(vp8.Total) / float64(nat8.Total)
+	large := float64(vp60.Total) / float64(nat60.Total)
+	if small <= large {
+		t.Errorf("overhead must shrink with size: small=%.2f large=%.2f", small, large)
+	}
+	if small < 1.15 || small > 3.0 {
+		t.Errorf("small-transfer overhead %.2fx outside [1.15, 3.0] (paper: 2.33x)", small)
+	}
+	if large < 1.02 || large > 1.6 {
+		t.Errorf("large-transfer overhead %.2fx outside [1.02, 1.6] (paper: 1.29x)", large)
+	}
+}
+
+// TestCalibrationCEnhancement: Fig. 11 — the Rust path is substantially
+// slower than the C path; C overhead lands near the paper's 1.4x average.
+func TestCalibrationCEnhancement(t *testing.T) {
+	h := harness(t)
+	rust, err := vmm.Variant("vPIM-rust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nat, vr := runChecksum(t, h, 60, 20<<20, rust)
+	_, vc := runChecksum(t, h, 60, 20<<20, vpim.FullOptions())
+	rustOver := float64(vr.Total) / float64(nat.Total)
+	cOver := float64(vc.Total) / float64(nat.Total)
+	if rustOver/cOver < 1.5 {
+		t.Errorf("rust/C = %.2f: the C enhancement must matter (paper: 5.2x -> 1.4x)", rustOver/cOver)
+	}
+	if cOver > 2.0 {
+		t.Errorf("vPIM-C overhead %.2fx too high (paper average 1.4x)", cOver)
+	}
+}
+
+// TestCalibrationNWOptimizations: Fig. 14 — the naive NW overhead is tens
+// of x; prefetch + batching recover most of it.
+func TestCalibrationNWOptimizations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NW at one rank is the heaviest calibration point")
+	}
+	h := harness(t)
+	app, err := prim.Lookup("NW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prim.Params{DPUs: 60}
+	nat, err := h.RunNative(func(env sdk.Env) error { return app.Run(env, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cOpts, err := vmm.Variant("vPIM-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := h.RunVM(cOpts, 16, func(env sdk.Env) error { return app.Run(env, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := h.RunVM(vpim.FullOptions(), 16, func(env sdk.Env) error { return app.Run(env, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveOver := float64(naive.Total) / float64(nat.Total)
+	if naiveOver < 20 {
+		t.Errorf("naive NW overhead %.1fx too low (paper: up to 53x)", naiveOver)
+	}
+	gain := float64(naive.Total) / float64(full.Total)
+	if gain < 3 {
+		t.Errorf("prefetch+batching gain %.1fx too low (paper: 10.8x)", gain)
+	}
+	if full.Messages >= naive.Messages/3 {
+		t.Errorf("optimizations must cut messages: %d -> %d", naive.Messages, full.Messages)
+	}
+}
+
+// TestCalibrationREDAnomaly: Section 5.2 — RED's Inter-DPU step (a 256-byte
+// read per DPU) is far slower under vPIM because the prefetch cache drags in
+// a full window per DPU (Takeaway 1).
+func TestCalibrationREDAnomaly(t *testing.T) {
+	h := harness(t)
+	app, err := prim.Lookup("RED")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prim.Params{DPUs: 60}
+	nat, err := h.RunNative(func(env sdk.Env) error { return app.Run(env, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := h.RunVM(vpim.FullOptions(), 16, func(env sdk.Env) error { return app.Run(env, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	natInter := nat.Phases[trace.PhaseInterDPU]
+	vpInter := vp.Phases[trace.PhaseInterDPU]
+	if natInter <= 0 || vpInter <= 0 {
+		t.Fatal("missing Inter-DPU phases")
+	}
+	anomaly := float64(vpInter) / float64(natInter)
+	if anomaly < 10 {
+		t.Errorf("RED Inter-DPU overhead %.1fx too low (paper: 33x at one rank)", anomaly)
+	}
+	// The whole application stays reasonable despite the anomaly.
+	if total := float64(vp.Total) / float64(nat.Total); total > 6 {
+		t.Errorf("RED total overhead %.2fx too high", total)
+	}
+}
+
+// TestCalibrationManagerNumbers: Section 4.2 — 36 ms allocation, ~597 ms
+// reset per 8 GB rank.
+func TestCalibrationManagerNumbers(t *testing.T) {
+	host, err := vpim.NewHost(vpim.HostConfig{Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, latency, err := host.Manager().Alloc("vm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latency != 36*time.Millisecond {
+		t.Errorf("alloc latency = %v", latency)
+	}
+	// 64 DPUs x 64 MB = 4 GB -> about half the paper's 597 ms for 8 GB.
+	reset := host.Model().ResetDuration(rank.TotalBytes())
+	if reset < 250*time.Millisecond || reset > 350*time.Millisecond {
+		t.Errorf("reset(4GB) = %v, want ~298ms", reset)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func smallCfg() bench.Config {
+	return bench.Config{Ranks: 2, DPUsPerRank: 8, MRAMBytes: 16 << 20, ChecksumDivisor: 60}
+}
+
+func TestRunTables(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "", "", true, true, smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "table1 name=VA") {
+		t.Error("Table 1 missing")
+	}
+	if !strings.Contains(out.String(), "table2 variant=vPIM-rust") {
+		t.Error("Table 2 missing")
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "12", "", false, false, smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig12 variant=vPIM-rust") {
+		t.Errorf("fig12 rows missing:\n%s", out.String())
+	}
+}
+
+func TestRunFig8Subset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "8", "RED", false, false, smallCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig8 app=RED") {
+		t.Error("fig8 subset missing")
+	}
+	if strings.Contains(out.String(), "fig8 app=VA") {
+		t.Error("-apps filter ignored")
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "99", "", false, false, smallCfg()); err == nil {
+		t.Error("unknown figure must fail")
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "8", "NOPE", false, false, smallCfg()); err == nil {
+		t.Error("unknown app must fail")
+	}
+}

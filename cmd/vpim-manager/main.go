@@ -1,0 +1,78 @@
+// Command vpim-manager runs the host-side rank manager as a standalone
+// daemon over a UNIX domain socket (Section 3.5): the process every
+// Firecracker instance on the host contacts to allocate and release UPMEM
+// ranks. The protocol is newline-delimited JSON; see internal/manager.
+//
+// Usage:
+//
+//	vpim-manager -socket /tmp/vpim-manager.sock -ranks 8
+//
+// Try it with a shell client:
+//
+//	printf '{"op":"alloc","owner":"vm0"}\n' | nc -U /tmp/vpim-manager.sock
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/pim"
+)
+
+func main() {
+	var (
+		socket  = flag.String("socket", "/tmp/vpim-manager.sock", "UNIX socket path")
+		ranks   = flag.Int("ranks", 8, "physical ranks on the machine")
+		dpus    = flag.Int("dpus", 60, "functional DPUs per rank")
+		threads = flag.Int("threads", 8, "request thread-pool size")
+	)
+	flag.Parse()
+	if err := run(*socket, *ranks, *dpus, *threads); err != nil {
+		fmt.Fprintln(os.Stderr, "vpim-manager:", err)
+		os.Exit(1)
+	}
+}
+
+func run(socket string, ranks, dpus, threads int) error {
+	mach, err := pim.NewMachine(pim.MachineConfig{
+		Ranks: ranks,
+		Rank:  pim.RankConfig{DPUs: dpus},
+	})
+	if err != nil {
+		return err
+	}
+	mgr := manager.New(mach, manager.Options{Threads: threads})
+	// The observer thread erases released ranks in the background
+	// (Section 3.5).
+	obs := mgr.StartObserver(100 * time.Millisecond)
+	defer obs.Stop()
+	srv := manager.NewServer(mgr)
+
+	_ = os.Remove(socket)
+	l, err := net.Listen("unix", socket)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("vpim-manager: %d ranks (%d DPUs each), listening on %s\n", ranks, dpus, socket)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	select {
+	case <-sig:
+		fmt.Println("vpim-manager: shutting down")
+		srv.Shutdown()
+		<-done
+		return nil
+	case err := <-done:
+		return err
+	}
+}

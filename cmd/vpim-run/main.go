@@ -1,0 +1,142 @@
+// Command vpim-run executes one PIM application — a PrIM benchmark or an
+// UPMEM microbenchmark — natively or inside a vPIM microVM, and prints the
+// virtual execution time with the paper's phase breakdown.
+//
+// Usage:
+//
+//	vpim-run -app VA                            # native
+//	vpim-run -app NW -env vpim -variant vPIM-C  # naive virtualization
+//	vpim-run -app checksum -dpus 60 -env vpim
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	vpim "repro"
+	"repro/internal/prim"
+	"repro/internal/upmem"
+	"repro/internal/vmm"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "", "application: a PrIM short name (VA, GEMV, ..., TRNS), 'checksum' or 'indexsearch'")
+		env     = flag.String("env", "native", "execution environment: native or vpim")
+		variant = flag.String("variant", "vPIM", "vPIM variant for -env vpim (Table 2 name)")
+		ranks   = flag.Int("ranks", 8, "physical ranks")
+		dpusPer = flag.Int("dpus-per-rank", 60, "functional DPUs per rank")
+		dpus    = flag.Int("dpus", 60, "DPUs to allocate")
+		scale   = flag.Int("scale", 1, "dataset scale factor")
+		asJSON  = flag.Bool("json", false, "emit the breakdown as JSON")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *app, *env, *variant, *ranks, *dpusPer, *dpus, *scale, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "vpim-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, appName, envName, variant string, ranks, dpusPerRank, dpus, scale int, asJSON bool) error {
+	if appName == "" {
+		flag.Usage()
+		return fmt.Errorf("missing -app")
+	}
+	host, err := vpim.NewHost(vpim.HostConfig{Ranks: ranks, DPUsPerRank: dpusPerRank})
+	if err != nil {
+		return err
+	}
+	if err := prim.Register(host.Registry()); err != nil {
+		return err
+	}
+	if err := upmem.Register(host.Registry()); err != nil {
+		return err
+	}
+
+	var environ vpim.Env
+	switch envName {
+	case "native":
+		environ = host.NativeEnv()
+	case "vpim":
+		opts, err := vmm.Variant(variant)
+		if err != nil {
+			return err
+		}
+		vm, err := host.NewVM(vpim.VMConfig{Name: "run", VUPMEMs: ranks, Options: opts})
+		if err != nil {
+			return err
+		}
+		environ = vm
+	default:
+		return fmt.Errorf("unknown environment %q", envName)
+	}
+
+	switch appName {
+	case "checksum":
+		err = upmem.RunChecksum(environ, upmem.ChecksumParams{DPUs: dpus, BytesPerDPU: (60 << 20) / 4})
+	case "indexsearch":
+		err = upmem.RunIndexSearch(environ, upmem.IndexSearchParams{DPUs: dpus})
+	default:
+		app, lerr := prim.Lookup(appName)
+		if lerr != nil {
+			return lerr
+		}
+		err = app.Run(environ, prim.Params{DPUs: dpus, Scale: scale})
+	}
+	if err != nil {
+		return fmt.Errorf("run %s: %w", appName, err)
+	}
+
+	tr := environ.Tracker()
+	var total time.Duration
+	for _, ph := range vpim.Phases() {
+		total += tr.Get(ph)
+	}
+	if asJSON {
+		return writeJSON(w, appName, envName, dpus, total, tr)
+	}
+	fmt.Fprintf(w, "app=%s env=%s dpus=%d result=OK\n", appName, envName, dpus)
+	fmt.Fprintf(w, "total=%v\n", total)
+	for _, ph := range vpim.Phases() {
+		fmt.Fprintf(w, "  %-16s %v\n", ph, tr.Get(ph))
+	}
+	for _, op := range vpim.Ops() {
+		fmt.Fprintf(w, "  %-16s %v\n", op, tr.Get(op))
+	}
+	return nil
+}
+
+// report is the machine-readable result of one run.
+type report struct {
+	App      string           `json:"app"`
+	Env      string           `json:"env"`
+	DPUs     int              `json:"dpus"`
+	TotalNS  int64            `json:"totalNs"`
+	PhasesNS map[string]int64 `json:"phasesNs"`
+	OpsNS    map[string]int64 `json:"opsNs"`
+	StepsNS  map[string]int64 `json:"stepsNs"`
+}
+
+func writeJSON(w io.Writer, appName, envName string, dpus int, total time.Duration, tr *vpim.Tracker) error {
+	r := report{
+		App: appName, Env: envName, DPUs: dpus, TotalNS: int64(total),
+		PhasesNS: make(map[string]int64), OpsNS: make(map[string]int64),
+		StepsNS: make(map[string]int64),
+	}
+	for _, ph := range vpim.Phases() {
+		r.PhasesNS[ph] = int64(tr.Get(ph))
+	}
+	for _, op := range vpim.Ops() {
+		r.OpsNS[op] = int64(tr.Get(op))
+	}
+	for _, st := range vpim.Steps() {
+		r.StepsNS[st] = int64(tr.Get(st))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

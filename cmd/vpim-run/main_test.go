@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunPrIMNative(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "RED", "native", "vPIM", 1, 16, 16, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "result=OK") {
+		t.Errorf("missing OK:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "phase:CPU-DPU") {
+		t.Error("missing phase breakdown")
+	}
+}
+
+func TestRunChecksumVPIMVariant(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "checksum", "vpim", "vPIM-C", 1, 8, 8, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "result=OK") {
+		t.Errorf("missing OK:\n%s", out.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "RED", "vpim", "vPIM", 1, 16, 16, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		App      string           `json:"app"`
+		TotalNS  int64            `json:"totalNs"`
+		PhasesNS map[string]int64 `json:"phasesNs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if rep.App != "RED" || rep.TotalNS <= 0 || len(rep.PhasesNS) != 4 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "", "native", "vPIM", 1, 8, 8, 1, false); err == nil {
+		t.Error("missing app must fail")
+	}
+	if err := run(&out, "NOPE", "native", "vPIM", 1, 8, 8, 1, false); err == nil {
+		t.Error("unknown app must fail")
+	}
+	if err := run(&out, "RED", "weird", "vPIM", 1, 16, 16, 1, false); err == nil {
+		t.Error("unknown environment must fail")
+	}
+	if err := run(&out, "RED", "vpim", "nope", 1, 16, 16, 1, false); err == nil {
+		t.Error("unknown variant must fail")
+	}
+}

@@ -1,0 +1,76 @@
+// Checksum sensitivity example (Section 5.3.1): the UPMEM checksum
+// microbenchmark across transfer sizes, reproducing the paper's Fig. 9c
+// observation that virtualization overhead is a fixed per-message cost which
+// amortizes as transfers grow.
+//
+//	go run ./examples/checksum
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	vpim "repro"
+)
+
+const nrDPUs = 16
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "checksum:", err)
+		os.Exit(1)
+	}
+}
+
+func phaseTotal(env vpim.Env) time.Duration {
+	var total time.Duration
+	for _, ph := range vpim.Phases() {
+		total += env.Tracker().Get(ph)
+	}
+	return total
+}
+
+func run() error {
+	fmt.Printf("checksum on %d DPUs, growing per-DPU input\n", nrDPUs)
+	fmt.Printf("%10s %14s %14s %10s %10s\n", "size/DPU", "native", "vPIM", "overhead", "CI ops")
+	for _, mb := range []int{1, 4, 8, 16} {
+		size := mb << 20
+		host, err := vpim.NewHost(vpim.HostConfig{Ranks: 1, DPUsPerRank: nrDPUs, MRAMBytes: 32 << 20})
+		if err != nil {
+			return err
+		}
+		if err := vpim.RegisterWorkloads(host); err != nil {
+			return err
+		}
+		native := host.NativeEnv()
+		if err := vpim.RunChecksum(native, vpim.ChecksumParams{DPUs: nrDPUs, BytesPerDPU: size}); err != nil {
+			return err
+		}
+
+		host2, err := vpim.NewHost(vpim.HostConfig{Ranks: 1, DPUsPerRank: nrDPUs, MRAMBytes: 32 << 20})
+		if err != nil {
+			return err
+		}
+		if err := vpim.RegisterWorkloads(host2); err != nil {
+			return err
+		}
+		vm, err := host2.NewVM(vpim.VMConfig{Name: "ck", Options: vpim.FullOptions()})
+		if err != nil {
+			return err
+		}
+		if err := vpim.RunChecksum(vm, vpim.ChecksumParams{DPUs: nrDPUs, BytesPerDPU: size}); err != nil {
+			return err
+		}
+
+		rank, err := host2.Machine().Rank(0)
+		if err != nil {
+			return err
+		}
+		nat, vp := phaseTotal(native), phaseTotal(vm)
+		fmt.Printf("%8dMB %14v %14v %9.2fx %10d\n",
+			mb, nat, vp, float64(vp)/float64(nat), rank.CI().Ops())
+	}
+	fmt.Println("\nthe overhead factor falls as the fixed per-message cost amortizes (Fig. 9c)")
+	return nil
+}

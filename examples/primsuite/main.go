@@ -1,0 +1,83 @@
+// PrIM suite example: run a selection of the paper's sixteen benchmark
+// applications natively and under vPIM on the same machine, printing the
+// per-application virtualization overhead — a miniature of the paper's
+// Fig. 8 experiment.
+//
+//	go run ./examples/primsuite            # a fast subset
+//	go run ./examples/primsuite VA NW BFS  # chosen applications
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	vpim "repro"
+)
+
+const nrDPUs = 16
+
+func main() {
+	apps := os.Args[1:]
+	if len(apps) == 0 {
+		apps = []string{"VA", "GEMV", "RED", "HST-S", "BFS"}
+	}
+	if err := run(apps); err != nil {
+		fmt.Fprintln(os.Stderr, "primsuite:", err)
+		os.Exit(1)
+	}
+}
+
+// phaseTotal sums the four application phases — the paper's execution-time
+// metric (device allocation is outside it).
+func phaseTotal(env vpim.Env) time.Duration {
+	var total time.Duration
+	for _, ph := range vpim.Phases() {
+		total += env.Tracker().Get(ph)
+	}
+	return total
+}
+
+func run(names []string) error {
+	fmt.Printf("%-10s %14s %14s %10s\n", "app", "native", "vPIM", "overhead")
+	for _, name := range names {
+		app, err := vpim.LookupPrIM(name)
+		if err != nil {
+			return err
+		}
+		// A fresh host per app keeps runs independent and deterministic.
+		host, err := vpim.NewHost(vpim.HostConfig{Ranks: 1, DPUsPerRank: nrDPUs, MRAMBytes: 16 << 20})
+		if err != nil {
+			return err
+		}
+		if err := vpim.RegisterWorkloads(host); err != nil {
+			return err
+		}
+		params := vpim.PrIMParams{DPUs: nrDPUs}
+
+		native := host.NativeEnv()
+		if err := app.Run(native, params); err != nil {
+			return fmt.Errorf("%s native: %w", name, err)
+		}
+		nat := phaseTotal(native)
+
+		host2, err := vpim.NewHost(vpim.HostConfig{Ranks: 1, DPUsPerRank: nrDPUs, MRAMBytes: 16 << 20})
+		if err != nil {
+			return err
+		}
+		if err := vpim.RegisterWorkloads(host2); err != nil {
+			return err
+		}
+		vm, err := host2.NewVM(vpim.VMConfig{Name: "prim", Options: vpim.FullOptions()})
+		if err != nil {
+			return err
+		}
+		if err := app.Run(vm, params); err != nil {
+			return fmt.Errorf("%s vPIM: %w", name, err)
+		}
+		vp := phaseTotal(vm)
+
+		fmt.Printf("%-10s %14v %14v %9.2fx\n", name, nat, vp, float64(vp)/float64(nat))
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Wikipedia index search example (Section 5.3.2): distribute a document
+// index across DPUs, answer query batches, and sweep the DPU count to see
+// how data distribution cost grows while virtualization overhead shrinks —
+// the paper's Fig. 10.
+//
+//	go run ./examples/wikisearch
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	vpim "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wikisearch:", err)
+		os.Exit(1)
+	}
+}
+
+func phaseTotal(env vpim.Env) time.Duration {
+	var total time.Duration
+	for _, ph := range vpim.Phases() {
+		total += env.Tracker().Get(ph)
+	}
+	return total
+}
+
+func run() error {
+	fmt.Println("Index Search: 445 queries over 4305 synthetic documents, batches of 128")
+	fmt.Printf("%6s %14s %14s %10s\n", "#DPUs", "native", "vPIM", "overhead")
+	for _, dpus := range []int{1, 8, 16, 32} {
+		params := vpim.IndexSearchParams{
+			DPUs: dpus,
+			// A lighter corpus than the benchmark default keeps the
+			// example snappy; vpim-bench -fig 10 runs the full setup.
+			Docs: 600, TermsPerDoc: 90, Queries: 128, BatchSize: 64,
+		}
+		host, err := vpim.NewHost(vpim.HostConfig{Ranks: 1, DPUsPerRank: 32, MRAMBytes: 16 << 20})
+		if err != nil {
+			return err
+		}
+		if err := vpim.RegisterWorkloads(host); err != nil {
+			return err
+		}
+		native := host.NativeEnv()
+		if err := vpim.RunIndexSearch(native, params); err != nil {
+			return fmt.Errorf("native %d DPUs: %w", dpus, err)
+		}
+
+		host2, err := vpim.NewHost(vpim.HostConfig{Ranks: 1, DPUsPerRank: 32, MRAMBytes: 16 << 20})
+		if err != nil {
+			return err
+		}
+		if err := vpim.RegisterWorkloads(host2); err != nil {
+			return err
+		}
+		vm, err := host2.NewVM(vpim.VMConfig{Name: "wiki", Options: vpim.FullOptions()})
+		if err != nil {
+			return err
+		}
+		if err := vpim.RunIndexSearch(vm, params); err != nil {
+			return fmt.Errorf("vPIM %d DPUs: %w", dpus, err)
+		}
+
+		nat, vp := phaseTotal(native), phaseTotal(vm)
+		fmt.Printf("%6d %14v %14v %9.2fx\n", dpus, nat, vp, float64(vp)/float64(nat))
+	}
+	return nil
+}

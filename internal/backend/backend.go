@@ -1,0 +1,333 @@
+// Package backend implements the vPIM device backend inside the VMM
+// (Section 4.2): it decodes requests arriving on the virtqueues, translates
+// guest physical addresses to host virtual addresses with a worker pool,
+// executes rank operations 8 DPUs at a time in performance mode (the rank is
+// mmapped, bypassing the host kernel driver), and cooperates with the
+// manager to attach and release physical ranks.
+package backend
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/hostmem"
+	"repro/internal/manager"
+	"repro/internal/native"
+	"repro/internal/pim"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/virtio"
+)
+
+// Backend serves one vUPMEM device of one VM.
+type Backend struct {
+	id     string
+	mach   *pim.Machine
+	mgr    *manager.Manager
+	mem    *hostmem.Memory
+	model  cost.Model
+	engine cost.Engine
+	loop   *EventLoop
+	// oversubscribe enables the simulator fallback: when the manager has
+	// no physical rank, the device attaches a software-simulated rank at
+	// reduced performance (the oversubscription mechanism the paper's
+	// conclusion proposes).
+	oversubscribe bool
+
+	rank *pim.Rank
+	// simulated marks an oversubscribed (simulator-backed) rank;
+	// simAttaches counts how many times the device fell back to the
+	// simulator over its lifetime.
+	simulated   bool
+	simAttaches int64
+	// completion is the virtual instant the in-flight launch finishes;
+	// status polls compare the timeline against it.
+	completion simtime.Duration
+}
+
+// New wires a backend. engine selects the Rust or C copy path; loop is the
+// VM-wide event loop shared by all vUPMEM devices.
+func New(id string, mach *pim.Machine, mgr *manager.Manager, mem *hostmem.Memory, engine cost.Engine, loop *EventLoop) *Backend {
+	return &Backend{
+		id:     id,
+		mach:   mach,
+		mgr:    mgr,
+		mem:    mem,
+		model:  mach.Model(),
+		engine: engine,
+		loop:   loop,
+	}
+}
+
+// Rank exposes the attached physical rank (nil when detached).
+func (b *Backend) Rank() *pim.Rank { return b.rank }
+
+// Simulated reports whether the attached rank is a software simulator
+// (oversubscription fallback).
+func (b *Backend) Simulated() bool { return b.simulated }
+
+// SimulatedAttachments counts the device's simulator fallbacks so far.
+func (b *Backend) SimulatedAttachments() int64 { return b.simAttaches }
+
+// SetOversubscribe enables the simulator fallback (called by the VMM while
+// realizing the device).
+func (b *Backend) SetOversubscribe(v bool) { b.oversubscribe = v }
+
+// simulatorSlowdown is the performance penalty of the software-simulated
+// rank relative to real hardware.
+const simulatorSlowdown = 8
+
+// attachSimulated builds a simulator-backed rank mirroring the machine's
+// rank geometry, with DPU execution and DMA slowed by simulatorSlowdown.
+func (b *Backend) attachSimulated() error {
+	template, err := b.mach.Rank(0)
+	if err != nil {
+		return err
+	}
+	simModel := b.model
+	simModel.DPUCyclesPerSec /= simulatorSlowdown
+	simModel.MRAMBytesPerSec /= simulatorSlowdown
+	b.rank = pim.NewRank(-1, pim.RankConfig{
+		DPUs:         template.NumDPUs(),
+		MRAMBytes:    template.MRAMBytes(),
+		FrequencyMHz: template.FrequencyMHz() / simulatorSlowdown,
+	}, simModel)
+	b.simulated = true
+	b.simAttaches++
+	return nil
+}
+
+// Migrate consolidates the device onto another physical rank through the
+// manager's checkpoint/restore: transparent to the guest, which keeps
+// operating the same vUPMEM device. Only idle, physically-backed devices
+// can migrate.
+func (b *Backend) Migrate(tl *simtime.Timeline) error {
+	if b.rank == nil {
+		return ErrNoRank
+	}
+	if b.simulated {
+		return fmt.Errorf("backend %s: simulated ranks do not migrate", b.id)
+	}
+	dst, dur, err := b.mgr.Migrate(b.rank)
+	if err != nil {
+		return fmt.Errorf("migrate %s: %w", b.id, err)
+	}
+	tl.Charge(trace.OpAlloc, dur)
+	b.rank = dst
+	return nil
+}
+
+// HandleControl processes controlq chains: manager synchronization
+// (rank attach).
+func (b *Backend) HandleControl(chain *virtio.Chain, tl *simtime.Timeline) error {
+	req, status, err := b.decode(chain)
+	if err != nil {
+		return err
+	}
+	switch req.Op {
+	case virtio.OpAttach:
+		if b.rank == nil {
+			rank, latency, aerr := b.mgr.Alloc(b.id)
+			tl.Charge(trace.OpAlloc, latency)
+			if aerr != nil {
+				if !b.oversubscribe {
+					b.writeStatus(status, virtio.StatusError)
+					return fmt.Errorf("attach %s: %w", b.id, aerr)
+				}
+				// Oversubscription: fall back to the software simulator
+				// at reduced performance rather than failing the tenant.
+				if serr := b.attachSimulated(); serr != nil {
+					b.writeStatus(status, virtio.StatusError)
+					return fmt.Errorf("attach %s (simulated): %w", b.id, serr)
+				}
+			} else {
+				b.rank = rank
+			}
+		}
+		b.writeStatus(status, virtio.StatusOK)
+		return nil
+	default:
+		b.writeStatus(status, virtio.StatusError)
+		return fmt.Errorf("backend: op %v not valid on controlq", req.Op)
+	}
+}
+
+// HandleTransfer processes transferq chains: configuration, CI commands,
+// program load/launch, symbol access and rank data transfers.
+func (b *Backend) HandleTransfer(chain *virtio.Chain, tl *simtime.Timeline) error {
+	done := b.loop.Admit(tl)
+	defer func() { done(tl) }()
+
+	req, status, err := b.decode(chain)
+	if err != nil {
+		return err
+	}
+	if b.rank == nil {
+		// The spec: the driver must not send requests while the device is
+		// not linked to a physical PIM device.
+		b.writeStatus(status, virtio.StatusError)
+		return fmt.Errorf("backend %s: %w", b.id, ErrNoRank)
+	}
+	if err := b.dispatch(req, chain, status, tl); err != nil {
+		b.writeStatus(status, virtio.StatusError)
+		return err
+	}
+	b.writeStatus(status, virtio.StatusOK)
+	return nil
+}
+
+// ErrNoRank reports a request on a device with no rank attached.
+var ErrNoRank = errNoRank{}
+
+type errNoRank struct{}
+
+func (errNoRank) Error() string { return "backend: no physical rank attached" }
+
+// decode reads the request header (first descriptor) and locates the status
+// descriptor (last, device-writable).
+func (b *Backend) decode(chain *virtio.Chain) (virtio.Request, []byte, error) {
+	if len(chain.Descs) < 2 {
+		return virtio.Request{}, nil, fmt.Errorf("backend: chain of %d descriptors", len(chain.Descs))
+	}
+	hdrDesc := chain.Descs[0]
+	hdr, err := b.mem.Slice(hdrDesc.GPA, int(hdrDesc.Len))
+	if err != nil {
+		return virtio.Request{}, nil, fmt.Errorf("header: %w", err)
+	}
+	req, err := virtio.DecodeRequest(hdr)
+	if err != nil {
+		return virtio.Request{}, nil, err
+	}
+	last := chain.Descs[len(chain.Descs)-1]
+	if !last.Writable {
+		return virtio.Request{}, nil, fmt.Errorf("backend: status descriptor not writable")
+	}
+	status, err := b.mem.Slice(last.GPA, int(last.Len))
+	if err != nil {
+		return virtio.Request{}, nil, fmt.Errorf("status: %w", err)
+	}
+	return req, status, nil
+}
+
+func (b *Backend) writeStatus(status []byte, code uint32) {
+	if len(status) >= 8 {
+		binary.LittleEndian.PutUint64(status, uint64(code))
+	}
+}
+
+func (b *Backend) dispatch(req virtio.Request, chain *virtio.Chain, status []byte, tl *simtime.Timeline) error {
+	switch req.Op {
+	case virtio.OpConfig:
+		return b.handleConfig(chain, tl)
+	case virtio.OpCI:
+		return b.handleCI(req, status, tl)
+	case virtio.OpLoadProgram:
+		return native.LoadProgram(b.rank, b.mach.Registry(), req.Symbol, b.model, tl)
+	case virtio.OpLaunch:
+		return b.handleLaunch(req, status, tl)
+	case virtio.OpSymWrite, virtio.OpSymRead:
+		return b.handleSymbol(req, chain, tl)
+	case virtio.OpWriteRank, virtio.OpReadRank:
+		return b.handleData(req, chain, tl)
+	case virtio.OpRelease:
+		return b.handleRelease(tl)
+	default:
+		return fmt.Errorf("backend: unknown op %v", req.Op)
+	}
+}
+
+func (b *Backend) handleConfig(chain *virtio.Chain, tl *simtime.Timeline) error {
+	if len(chain.Descs) < 3 {
+		return fmt.Errorf("backend: config chain needs a response descriptor")
+	}
+	resp := chain.Descs[1]
+	buf, err := b.mem.Slice(resp.GPA, int(resp.Len))
+	if err != nil {
+		return err
+	}
+	tl.Advance(b.model.CIOperation)
+	return virtio.EncodeConfig(virtio.DeviceConfig{
+		NumDPUs:       uint32(b.rank.NumDPUs()),
+		FrequencyMHz:  uint32(b.rank.FrequencyMHz()),
+		MRAMBytes:     uint64(b.rank.MRAMBytes()),
+		ClockDivision: 2,
+		NumCIs:        pim.ChipsPerRank,
+	}, buf)
+}
+
+func (b *Backend) handleCI(req virtio.Request, status []byte, tl *simtime.Timeline) error {
+	b.rank.CIOp()
+	tl.Advance(b.model.CIOperation)
+	// Status poll: report whether the running launch has completed by now.
+	if req.Offset == 1 && len(status) > 8 {
+		if tl.Now() >= b.completion {
+			status[8] = 1
+		} else {
+			status[8] = 0
+		}
+	}
+	return nil
+}
+
+func (b *Backend) handleLaunch(req virtio.Request, status []byte, tl *simtime.Timeline) error {
+	var dpus []int
+	for d := 0; d < b.rank.NumDPUs() && d < 64; d++ {
+		if req.DPUMask&(1<<uint(d)) != 0 {
+			dpus = append(dpus, d)
+		}
+	}
+	res, err := b.rank.Launch(dpus)
+	if err != nil {
+		return err
+	}
+	tl.Advance(b.model.LaunchFixed)
+	b.completion = tl.Now() + res.Duration
+	// Report the completion instant for asynchronous launches.
+	if len(status) >= 16 {
+		binary.LittleEndian.PutUint64(status[8:], uint64(b.completion))
+	}
+	return nil
+}
+
+func (b *Backend) handleSymbol(req virtio.Request, chain *virtio.Chain, tl *simtime.Timeline) error {
+	if len(chain.Descs) < 3 {
+		return fmt.Errorf("backend: symbol chain needs a payload descriptor")
+	}
+	payload := chain.Descs[1]
+	buf, err := b.mem.Slice(payload.GPA, int(payload.Len))
+	if err != nil {
+		return err
+	}
+	b.rank.CIOp()
+	tl.Advance(b.model.CIOperation)
+	if req.Op == virtio.OpSymWrite {
+		if req.DPU == virtio.BroadcastDPU {
+			for dpu := 0; dpu < b.rank.NumDPUs(); dpu++ {
+				if err := b.rank.SymbolWrite(dpu, req.Symbol, int(req.Offset), buf[:req.Length]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return b.rank.SymbolWrite(int(req.DPU), req.Symbol, int(req.Offset), buf[:req.Length])
+	}
+	return b.rank.SymbolRead(int(req.DPU), req.Symbol, int(req.Offset), buf[:req.Length])
+}
+
+func (b *Backend) handleRelease(tl *simtime.Timeline) error {
+	// Simulated (oversubscribed) ranks are private to the device: dropping
+	// them is the release.
+	if !b.simulated {
+		// The VM does not talk to the manager here: releasing updates the
+		// rank's status (sysfs), and the manager's observer notices.
+		if err := b.mgr.Release(b.rank); err != nil {
+			return err
+		}
+	}
+	b.rank = nil
+	b.simulated = false
+	b.completion = 0
+	tl.Advance(b.model.CIOperation)
+	return nil
+}

@@ -1,0 +1,203 @@
+package backend
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/hostmem"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/virtio"
+)
+
+// row is one deserialized transfer-matrix row.
+type row struct {
+	dpu      int
+	size     int
+	mramOff  int64
+	pages    []uint64
+	firstOff int
+}
+
+// handleData executes a write-to-rank or read-from-rank: deserialize the
+// matrix, translate guest pages, then move the data with the configured copy
+// engine, 8 DPUs at a time.
+func (b *Backend) handleData(req virtio.Request, chain *virtio.Chain, tl *simtime.Timeline) error {
+	// Note: the driver-centric operation category (op:W-rank / op:R-rank)
+	// is recorded by the frontend, whose span covers this handler; charging
+	// it here as well would double count.
+	rows, _, err := b.deserialize(chain, tl)
+	if err != nil {
+		return err
+	}
+	tl.Span(trace.StepTData, func(tl *simtime.Timeline) {
+		if req.Op == virtio.OpWriteRank && req.Offset == virtio.BatchSentinel {
+			err = b.applyBatch(rows, tl)
+		} else {
+			err = b.copyRows(req.Op, rows, tl)
+		}
+	})
+	return err
+}
+
+// deserialize reassembles the transfer matrix from the chain (Fig. 7 layout)
+// and charges the per-DPU deserialization plus the multi-threaded GPA->HVA
+// translation (Fig. 13 "Deser").
+func (b *Backend) deserialize(chain *virtio.Chain, tl *simtime.Timeline) ([]row, int, error) {
+	descs := chain.Descs
+	if len(descs) < 3 {
+		return nil, 0, fmt.Errorf("backend: matrix chain of %d descriptors", len(descs))
+	}
+	metaBuf, err := b.mem.Slice(descs[1].GPA, int(descs[1].Len))
+	if err != nil {
+		return nil, 0, fmt.Errorf("matrix metadata: %w", err)
+	}
+	nRows64, err := virtio.GetU64(metaBuf, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	nRows := int(nRows64)
+	if len(descs) != 2+2*nRows+1 {
+		return nil, 0, fmt.Errorf("backend: %d rows but %d descriptors", nRows, len(descs))
+	}
+
+	rows := make([]row, nRows)
+	totalPages := 0
+	for i := 0; i < nRows; i++ {
+		dm := descs[2+2*i]
+		pm := descs[3+2*i]
+		dmBuf, err := b.mem.Slice(dm.GPA, int(dm.Len))
+		if err != nil {
+			return nil, 0, fmt.Errorf("row %d metadata: %w", i, err)
+		}
+		var vals [virtio.DPUMetaWords]uint64
+		for w := range vals {
+			if vals[w], err = virtio.GetU64(dmBuf, w); err != nil {
+				return nil, 0, err
+			}
+		}
+		pages := make([]uint64, vals[3])
+		pmBuf, err := b.mem.Slice(pm.GPA, int(pm.Len))
+		if err != nil {
+			return nil, 0, fmt.Errorf("row %d pages: %w", i, err)
+		}
+		for p := range pages {
+			if pages[p], err = virtio.GetU64(pmBuf, p); err != nil {
+				return nil, 0, err
+			}
+		}
+		rows[i] = row{
+			dpu:      int(vals[0]),
+			size:     int(vals[1]),
+			mramOff:  int64(vals[2]),
+			pages:    pages,
+			firstOff: int(vals[4]),
+		}
+		totalPages += len(pages)
+	}
+
+	tl.Span(trace.StepDeser, func(tl *simtime.Timeline) {
+		tl.Advance(b.model.DeserializeDPU * simtime.Duration(nRows))
+		// GPA->HVA translation parallelized across the translation workers.
+		tl.Workers(totalPages, b.model.TranslateThreads, b.model.TranslatePage)
+	})
+	return rows, totalPages, nil
+}
+
+// forEachSegment walks a row's guest pages, yielding the host slice of each
+// in-row segment along with the running MRAM offset.
+func (b *Backend) forEachSegment(r row, fn func(host []byte, mramOff int64) error) error {
+	remaining := r.size
+	written := 0
+	pageOff := r.firstOff
+	for _, gpa := range r.pages {
+		if remaining <= 0 {
+			break
+		}
+		host, err := b.mem.Translate(gpa)
+		if err != nil {
+			return err
+		}
+		seg := hostmem.PageSize - pageOff
+		if seg > remaining {
+			seg = remaining
+		}
+		if err := fn(host[pageOff:pageOff+seg], r.mramOff+int64(written)); err != nil {
+			return err
+		}
+		written += seg
+		remaining -= seg
+		pageOff = 0
+	}
+	if remaining != 0 {
+		return fmt.Errorf("backend: row for dpu %d short by %d bytes", r.dpu, remaining)
+	}
+	return nil
+}
+
+// copyRows moves each row between guest pages and MRAM. Rows are processed
+// by the backend's 8 operation threads (one PIM chip at a time), so the
+// virtual duration is the max over threads of their summed row costs.
+func (b *Backend) copyRows(op virtio.Op, rows []row, tl *simtime.Timeline) error {
+	sizes := make([]int, len(rows))
+	for i, r := range rows {
+		var err error
+		if op == virtio.OpWriteRank {
+			err = b.forEachSegment(r, func(host []byte, mramOff int64) error {
+				return b.rank.WriteDPU(r.dpu, mramOff, host)
+			})
+		} else {
+			err = b.forEachSegment(r, func(host []byte, mramOff int64) error {
+				return b.rank.ReadDPU(r.dpu, mramOff, host)
+			})
+		}
+		if err != nil {
+			return err
+		}
+		sizes[i] = r.size
+	}
+	tl.Advance(b.model.RankOpDuration(b.engine, sizes))
+	return nil
+}
+
+// applyBatch parses each row's packed records ([mramOff, len, data] repeated)
+// and applies them in order.
+func (b *Backend) applyBatch(rows []row, tl *simtime.Timeline) error {
+	var dataBytes int64
+	var records int64
+	for _, r := range rows {
+		// Reassemble the batch region (it is small: <= 64 pages).
+		buf := make([]byte, 0, r.size)
+		err := b.forEachSegment(r, func(host []byte, _ int64) error {
+			buf = append(buf, host...)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for pos := 0; pos+16 <= len(buf); {
+			mramOff := int64(binary.LittleEndian.Uint64(buf[pos:]))
+			length := int(binary.LittleEndian.Uint64(buf[pos+8:]))
+			pos += 16
+			if pos+length > len(buf) {
+				return fmt.Errorf("backend: batch record overruns buffer (dpu %d)", r.dpu)
+			}
+			if err := b.rank.WriteDPU(r.dpu, mramOff, buf[pos:pos+length]); err != nil {
+				return err
+			}
+			dataBytes += int64(length)
+			records++
+			pos += (length + 7) &^ 7
+		}
+	}
+	// Records spread across the operation threads like regular rows.
+	threads := int64(b.model.OpThreads)
+	if threads < 1 {
+		threads = 1
+	}
+	perThreadRecords := (records + threads - 1) / threads
+	tl.Advance(time.Duration(perThreadRecords)*b.model.BatchRecord +
+		b.model.CopyDuration(b.engine, (dataBytes+threads-1)/threads))
+	return nil
+}

@@ -1,0 +1,75 @@
+package backend
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/simtime"
+)
+
+// TestSequentialLoopSerializes reproduces Fig. 16's red staircase: requests
+// arriving together are processed one after another.
+func TestSequentialLoopSerializes(t *testing.T) {
+	loop := NewEventLoop(false, cost.Default())
+	parent := simtime.New()
+	durs := parent.ParNDur(4, func(i int, tl *simtime.Timeline) {
+		done := loop.Admit(tl)
+		tl.Advance(10 * time.Millisecond) // processing
+		done(tl)
+	})
+	for i, d := range durs {
+		want := time.Duration(i+1) * 10 * time.Millisecond
+		if d != want {
+			t.Errorf("request %d latency = %v, want %v (queued behind predecessors)", i, d, want)
+		}
+	}
+	if parent.Now() != 40*time.Millisecond {
+		t.Errorf("total = %v, want 40ms", parent.Now())
+	}
+}
+
+// TestParallelLoopOverlaps reproduces the blue flat line: only the dispatch
+// serializes; processing overlaps.
+func TestParallelLoopOverlaps(t *testing.T) {
+	model := cost.Default()
+	loop := NewEventLoop(true, model)
+	parent := simtime.New()
+	durs := parent.ParNDur(4, func(i int, tl *simtime.Timeline) {
+		done := loop.Admit(tl)
+		tl.Advance(10 * time.Millisecond)
+		done(tl)
+	})
+	for i, d := range durs {
+		// Each request waits only for i prior thread spawns.
+		maxWant := 10*time.Millisecond + time.Duration(i+1)*model.ThreadSpawn
+		if d > maxWant {
+			t.Errorf("request %d latency = %v, want <= %v", i, d, maxWant)
+		}
+	}
+	if parent.Now() > 11*time.Millisecond {
+		t.Errorf("total = %v: parallel handling must overlap", parent.Now())
+	}
+	if !loop.Parallel() {
+		t.Error("Parallel() getter")
+	}
+}
+
+// TestSequentialLoopIdleGap: a request arriving after the loop freed must
+// not wait.
+func TestSequentialLoopIdleGap(t *testing.T) {
+	loop := NewEventLoop(false, cost.Default())
+	tl := simtime.New()
+	done := loop.Admit(tl)
+	tl.Advance(5 * time.Millisecond)
+	done(tl)
+
+	tl2 := simtime.New()
+	tl2.Advance(20 * time.Millisecond) // arrives later than freeAt
+	start := tl2.Now()
+	done2 := loop.Admit(tl2)
+	if tl2.Now() != start {
+		t.Errorf("idle loop stalled the request by %v", tl2.Now()-start)
+	}
+	done2(tl2)
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sdk"
+	"repro/internal/upmem"
+	"repro/internal/vmm"
+)
+
+// smallHarness keeps the smoke tests fast: a 2-rank, 8-DPU machine with
+// heavily scaled-down checksum sizes.
+func smallHarness(buf *bytes.Buffer) *Harness {
+	return New(buf, Config{Ranks: 2, DPUsPerRank: 8, MRAMBytes: 16 << 20, ChecksumDivisor: 60})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Ranks != 8 || cfg.DPUsPerRank != 60 || cfg.ChecksumDivisor != 4 || cfg.Scale != 1 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+}
+
+func TestRunNativeVsVM(t *testing.T) {
+	var buf bytes.Buffer
+	h := smallHarness(&buf)
+	p := upmem.ChecksumParams{DPUs: 8, BytesPerDPU: 1 << 20}
+	nat, err := h.RunNative(func(env sdk.Env) error { return upmem.RunChecksum(env, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := h.RunVM(vmm.Full(), 16, func(env sdk.Env) error { return upmem.RunChecksum(env, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.Total <= 0 || vp.Total <= nat.Total {
+		t.Errorf("native=%v vpim=%v: virtualization must cost something", nat.Total, vp.Total)
+	}
+	if nat.Exits != 0 {
+		t.Error("native runs take no VMEXITs")
+	}
+	if vp.Exits == 0 || vp.Messages == 0 {
+		t.Error("vPIM runs must count messages and exits")
+	}
+}
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	h := smallHarness(&buf)
+	h.Table1()
+	h.Table2()
+	out := buf.String()
+	if strings.Count(out, "table1 ") != 16 {
+		t.Errorf("Table 1 must list 16 applications:\n%s", out)
+	}
+	if strings.Count(out, "table2 ") != 7 {
+		t.Errorf("Table 2 must list 7 variants:\n%s", out)
+	}
+}
+
+func TestFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke covers several full runs")
+	}
+	var buf bytes.Buffer
+	h := smallHarness(&buf)
+	steps := map[string]func() error{
+		"fig9":    h.Fig9,
+		"fig12":   h.Fig12,
+		"fig13":   h.Fig13,
+		"fig15":   h.Fig15,
+		"fig16":   h.Fig16,
+		"boot":    h.BootOverhead,
+		"manager": h.ManagerOverhead,
+		"mem":     h.MemOverhead,
+	}
+	for name, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), name[:3]) {
+			t.Errorf("%s produced no rows", name)
+		}
+	}
+	// Fig 8 on one light app.
+	if err := h.Fig8([]string{"RED"}); err != nil {
+		t.Fatalf("fig8: %v", err)
+	}
+	if !strings.Contains(buf.String(), "fig8 app=RED") {
+		t.Error("fig8 missing rows")
+	}
+}
+
+func TestFig16Staircase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rank experiment")
+	}
+	var buf bytes.Buffer
+	h := smallHarness(&buf)
+	if err := h.Fig16(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The sequential series must end slower than it starts; the parallel
+	// series must be flat. Parse the first/last rank lines per mode.
+	var seqFirst, seqLast, parFirst, parLast string
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.Contains(line, "mode=seq rank=0 "):
+			seqFirst = line
+		case strings.Contains(line, "mode=seq rank=1 "):
+			seqLast = line
+		case strings.Contains(line, "mode=par rank=0 "):
+			parFirst = line
+		case strings.Contains(line, "mode=par rank=1 "):
+			parLast = line
+		}
+	}
+	if seqFirst == "" || seqLast == "" || parFirst == "" || parLast == "" {
+		t.Fatalf("missing fig16 rows:\n%s", out)
+	}
+	if seqFirst == seqLast {
+		t.Error("sequential per-rank latencies must form a staircase")
+	}
+	if parFirst[strings.Index(parFirst, "exec="):] != parLast[strings.Index(parLast, "exec="):] {
+		// Allow tiny thread-spawn skew: compare prefix to 0.1ms.
+		f := parFirst[strings.Index(parFirst, "exec=") : strings.Index(parFirst, "exec=")+9]
+		l := parLast[strings.Index(parLast, "exec=") : strings.Index(parLast, "exec=")+9]
+		if f != l {
+			t.Errorf("parallel per-rank latencies must be flat: %q vs %q", parFirst, parLast)
+		}
+	}
+}

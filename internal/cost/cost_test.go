@@ -1,0 +1,145 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultSanity(t *testing.T) {
+	m := Default()
+	if m.TranslateThreads != 8 || m.OpThreads != 8 {
+		t.Errorf("prototype thread counts must be 8: got %d/%d", m.TranslateThreads, m.OpThreads)
+	}
+	if m.ManagerAllocLatency != 36*time.Millisecond {
+		t.Errorf("alloc latency = %v, want the paper's 36ms", m.ManagerAllocLatency)
+	}
+	if m.BootPerDevice > 2*time.Millisecond {
+		t.Errorf("boot overhead %v exceeds the paper's 2ms bound", m.BootPerDevice)
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if EngineC.String() != "C" || EngineRust.String() != "rust" {
+		t.Error("engine names wrong")
+	}
+	if Engine(0).String() != "unknown" {
+		t.Error("zero engine should be unknown")
+	}
+}
+
+func TestCopyDurationEngines(t *testing.T) {
+	m := Default()
+	c := m.CopyDuration(EngineC, 1<<20)
+	r := m.CopyDuration(EngineRust, 1<<20)
+	factor := float64(r) / float64(c)
+	if factor < 3.3 || factor > 3.6 {
+		t.Errorf("rust/C ratio = %.2f, want ~3.43 (the paper's 343%% improvement)", factor)
+	}
+	if m.CopyDuration(EngineC, 0) != 0 || m.CopyDuration(EngineC, -5) != 0 {
+		t.Error("non-positive sizes must cost nothing")
+	}
+}
+
+// Property: copy duration is monotone and additive-ish in bytes.
+func TestCopyDurationMonotone(t *testing.T) {
+	m := Default()
+	f := func(a, b uint32) bool {
+		small, large := int64(a), int64(a)+int64(b)
+		return m.CopyDuration(EngineC, small) <= m.CopyDuration(EngineC, large)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankOpDuration(t *testing.T) {
+	m := Default()
+	if m.RankOpDuration(EngineC, nil) != 0 {
+		t.Error("empty op must cost nothing")
+	}
+	// A single row splits across the 8 operation threads: it must cost
+	// roughly 1/8 of its serial copy time.
+	one := m.RankOpDuration(EngineC, []int{8 << 20})
+	serial := m.CopyDuration(EngineC, 8<<20)
+	if one >= serial/4 {
+		t.Errorf("single-row op %v should be ~serial/8 (%v)", one, serial/8)
+	}
+	// 8 MB in one row costs the same as 8 MB spread over 8 rows (same
+	// total, same round count).
+	eight := m.RankOpDuration(EngineC, []int{
+		1 << 20, 1 << 20, 1 << 20, 1 << 20, 1 << 20, 1 << 20, 1 << 20, 1 << 20,
+	})
+	if one != eight {
+		t.Errorf("split single row %v != spread rows %v", one, eight)
+	}
+}
+
+// Property: rank op duration never decreases when a row is added.
+func TestRankOpDurationMonotoneRows(t *testing.T) {
+	m := Default()
+	f := func(sizes []uint16, extra uint16) bool {
+		rows := make([]int, len(sizes))
+		for i, s := range sizes {
+			rows[i] = int(s)
+		}
+		before := m.RankOpDuration(EngineC, rows)
+		after := m.RankOpDuration(EngineC, append(rows, int(extra)))
+		return after >= before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := Default()
+	want := m.TrapToVMM + m.EventDispatch + m.IRQInject
+	if m.MessageRoundTrip() != want {
+		t.Errorf("MessageRoundTrip = %v, want %v", m.MessageRoundTrip(), want)
+	}
+	// Consistency with Firecracker's documented IO overhead: a round trip
+	// must be tens of microseconds.
+	if m.MessageRoundTrip() < 10*time.Microsecond || m.MessageRoundTrip() > 100*time.Microsecond {
+		t.Errorf("round trip %v out of the plausible band", m.MessageRoundTrip())
+	}
+}
+
+func TestResetDuration(t *testing.T) {
+	m := Default()
+	// The paper: ~597 ms for 8 GB of rank-mapped memory.
+	got := m.ResetDuration(8 << 30)
+	if got < 590*time.Millisecond || got > 650*time.Millisecond {
+		t.Errorf("reset(8GB) = %v, want ~597ms", got)
+	}
+	if m.ResetDuration(0) != 0 || m.ResetDuration(-1) != 0 {
+		t.Error("non-positive sizes must cost nothing")
+	}
+}
+
+func TestMRAMTransfer(t *testing.T) {
+	m := Default()
+	if m.MRAMTransfer(0) != 0 {
+		t.Error("zero transfer must cost nothing")
+	}
+	small := m.MRAMTransfer(8)
+	large := m.MRAMTransfer(2048)
+	if small >= large {
+		t.Error("MRAM transfer must grow with size")
+	}
+	if small < m.MRAMLatency {
+		t.Error("every DMA pays the setup latency")
+	}
+}
+
+func TestCycles(t *testing.T) {
+	m := Default()
+	// 350 MHz: 350e6 cycles == 1 second.
+	got := m.Cycles(350_000_000)
+	if got < 999*time.Millisecond || got > 1001*time.Millisecond {
+		t.Errorf("350M cycles = %v, want ~1s", got)
+	}
+	if m.Cycles(0) != 0 || m.Cycles(-1) != 0 {
+		t.Error("non-positive cycles must cost nothing")
+	}
+}

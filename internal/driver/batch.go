@@ -1,0 +1,97 @@
+package driver
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/hostmem"
+	"repro/internal/sdk"
+	"repro/internal/simtime"
+	"repro/internal/virtio"
+)
+
+// batchBuffer is the frontend's write aggregator (Section 4.1 "Request
+// Batching"): 64 pages per DPU by default. Small write-to-rank requests are
+// packed as [mramOff u64, len u64, data] records; a single flush message
+// carries all of them, replacing one VMEXIT per write with one per flush.
+// Flushes happen when a buffer fills or when any non-write-to-rank request
+// arrives (the data is not observable until a read or a launch, which is
+// what makes the deferral safe).
+type batchBuffer struct {
+	bufs    []hostmem.Buffer
+	used    []int
+	records int64
+}
+
+func newBatchBuffer(mem *hostmem.Memory, nDPUs, pages int) (*batchBuffer, error) {
+	b := &batchBuffer{
+		bufs: make([]hostmem.Buffer, nDPUs),
+		used: make([]int, nDPUs),
+	}
+	for d := 0; d < nDPUs; d++ {
+		buf, err := mem.Alloc(pages * hostmem.PageSize)
+		if err != nil {
+			return nil, fmt.Errorf("alloc batch buffer for dpu %d: %w", d, err)
+		}
+		b.bufs[d] = buf
+	}
+	return b, nil
+}
+
+// capacity reports the per-DPU batch buffer size.
+func (b *batchBuffer) capacity() int { return len(b.bufs[0].Data) }
+
+// pad8 rounds a record payload up to 8 bytes so records stay aligned.
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// batchAppend stages each entry's small write into its DPU's batch buffer,
+// flushing first when a buffer would overflow.
+func (f *Frontend) batchAppend(entries []sdk.DPUXfer, off int64, length int, tl *simtime.Timeline) error {
+	b := f.batch
+	need := batchRecordHeader + pad8(length)
+	for _, e := range entries {
+		if e.DPU < 0 || e.DPU >= len(b.bufs) {
+			return fmt.Errorf("driver: DPU %d outside batch of %d", e.DPU, len(b.bufs))
+		}
+		if b.used[e.DPU]+need > b.capacity() {
+			if err := f.flushBatch(tl); err != nil {
+				return err
+			}
+		}
+		dst := b.bufs[e.DPU].Data[b.used[e.DPU]:]
+		binary.LittleEndian.PutUint64(dst[0:], uint64(off))
+		binary.LittleEndian.PutUint64(dst[8:], uint64(length))
+		copy(dst[batchRecordHeader:], e.Buf.Data[:length])
+		b.used[e.DPU] += need
+		b.records++
+		f.stats.BatchedWrites++
+		tl.Advance(f.model.BatchAppend + f.model.CopyDuration(cost.EngineC, int64(length)))
+	}
+	return nil
+}
+
+// flushBatch ships every staged record in one serialized-matrix message.
+// Nil-safe and a no-op when nothing is staged.
+func (f *Frontend) flushBatch(tl *simtime.Timeline) error {
+	b := f.batch
+	if b == nil || b.records == 0 {
+		return nil
+	}
+	var rows []matrixRow
+	for d, used := range b.used {
+		if used == 0 {
+			continue
+		}
+		rows = append(rows, matrixRow{dpu: d, buf: b.bufs[d], size: used, mramOff: 0})
+	}
+	if err := f.sendMatrixRows(virtio.OpWriteRank, rows, virtio.BatchSentinel, 0, tl); err != nil {
+		return err
+	}
+	for d := range b.used {
+		b.used[d] = 0
+	}
+	b.records = 0
+	f.stats.BatchFlushes++
+	return nil
+}

@@ -1,0 +1,82 @@
+package driver_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vmm"
+)
+
+// Failure-injection tests: errors raised deep in the stack (hardware
+// limits, bad programs) must propagate through the virtio path to the
+// application with sensible context.
+
+func TestUnknownBinaryPropagates(t *testing.T) {
+	_, _, set := stack(t, vmm.Full())
+	err := set.Load("no/such/binary")
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Errorf("load of unknown binary: %v", err)
+	}
+}
+
+func TestLaunchWithoutProgramPropagates(t *testing.T) {
+	_, _, set := stack(t, vmm.Full())
+	err := set.Launch()
+	if err == nil || !strings.Contains(err.Error(), "no program") {
+		t.Errorf("launch without program: %v", err)
+	}
+}
+
+// TestKernelErrorPropagates: a DPU program faulting (WRAM exhaustion) must
+// surface to the guest application through the launch path.
+func TestKernelErrorPropagates(t *testing.T) {
+	_, _, set := stack(t, vmm.Full())
+	if err := set.Load("faulting"); err != nil {
+		t.Fatal(err)
+	}
+	err := set.Launch()
+	if err == nil || !strings.Contains(err.Error(), "WRAM") {
+		t.Errorf("kernel fault must surface: %v", err)
+	}
+}
+
+func TestWriteBeyondMRAMPropagates(t *testing.T) {
+	vm, _, set := stack(t, vmm.Full())
+	buf := mkBuf(t, vm, 4096, 1)
+	// MRAM in this stack is 1 MB; write far beyond it. Large enough to
+	// bypass batching so the backend performs the rank access.
+	big := mkBuf(t, vm, 64<<10, 1)
+	if err := set.CopyToMRAM(0, 2<<20, big, 64<<10); err == nil {
+		t.Error("write beyond MRAM must fail")
+	}
+	_ = buf
+}
+
+func TestReadBeyondMRAMPropagates(t *testing.T) {
+	vm, _, set := stack(t, vmm.Full())
+	big := mkBuf(t, vm, 128<<10, 0)
+	if err := set.CopyFromMRAM(0, 1<<20-4096, big, 128<<10); err == nil {
+		t.Error("read beyond MRAM must fail")
+	}
+}
+
+func TestSymbolTooLargePropagates(t *testing.T) {
+	_, _, set := stack(t, vmm.Full())
+	huge := make([]byte, 8192)
+	err := set.CopyToSym(0, "v", 0, huge)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("oversized symbol payload: %v", err)
+	}
+}
+
+func TestUnknownSymbolPropagates(t *testing.T) {
+	_, _, set := stack(t, vmm.Full())
+	if err := set.Load("noop"); err != nil {
+		t.Fatal(err)
+	}
+	var out [4]byte
+	err := set.CopyFromSym(0, "missing_symbol", 0, out[:])
+	if err == nil || !strings.Contains(err.Error(), "unknown host symbol") {
+		t.Errorf("unknown symbol: %v", err)
+	}
+}

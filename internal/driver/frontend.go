@@ -1,0 +1,296 @@
+// Package driver implements the vUPMEM frontend: the virtio device driver
+// living in the guest kernel (Section 4.1). It exposes a rank to the guest
+// userspace in safe mode, serializes transfer matrices into the virtqueue,
+// and implements the two data-path optimizations the paper introduces — the
+// prefetch cache for frequent small reads and request batching for frequent
+// small writes — both of which exist to cut the number of guest<->VMM
+// transitions, the dominant source of virtualization overhead.
+package driver
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/hostmem"
+	"repro/internal/kvm"
+	"repro/internal/sdk"
+	"repro/internal/simtime"
+	"repro/internal/virtio"
+)
+
+// Default optimization geometry (Section 4.1).
+const (
+	// DefaultPrefetchPages is the prefetch cache size per DPU (16 pages).
+	DefaultPrefetchPages = 16
+	// DefaultBatchPages is the batch buffer size per DPU (64 pages).
+	DefaultBatchPages = 64
+	// batchRecordHeader is the packed record header: mramOff u64 + len u64.
+	batchRecordHeader = 16
+)
+
+// Options selects the frontend optimizations; Table 2 of the paper toggles
+// these to isolate each optimization's effect.
+type Options struct {
+	// Prefetch enables the per-DPU prefetch cache for small reads.
+	Prefetch bool
+	// Batch enables request batching for small writes.
+	Batch bool
+	// PrefetchPages overrides the cache size (pages per DPU).
+	PrefetchPages int
+	// BatchPages overrides the batch buffer size (pages per DPU).
+	BatchPages int
+	// BatchThreshold is the largest per-DPU write the frontend batches.
+	BatchThreshold int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PrefetchPages == 0 {
+		o.PrefetchPages = DefaultPrefetchPages
+	}
+	if o.BatchPages == 0 {
+		o.BatchPages = DefaultBatchPages
+	}
+	if o.BatchThreshold == 0 {
+		o.BatchThreshold = 16 << 10
+	}
+	return o
+}
+
+// Errors reported by the frontend.
+var (
+	ErrNotAttached = errors.New("driver: vUPMEM device has no physical rank attached")
+	ErrDeviceError = errors.New("driver: device reported failure")
+)
+
+// Frontend is one vUPMEM device's guest driver. It implements sdk.Device:
+// the guest userspace SDK drives it exactly like a native rank (safe mode
+// through the device file), which is the transparency requirement R3.
+type Frontend struct {
+	id    string
+	mem   *hostmem.Memory
+	path  *kvm.Path
+	tq    *virtio.Queue
+	cq    *virtio.Queue
+	model cost.Model
+	opts  Options
+
+	attached bool
+	cfg      virtio.DeviceConfig
+
+	// Scratch guest kernel buffers, allocated once at attach.
+	hdrBuf     hostmem.Buffer
+	statusBuf  hostmem.Buffer
+	matrixMeta hostmem.Buffer
+	dpuMeta    []hostmem.Buffer
+	pageBufs   []hostmem.Buffer
+	symBuf     hostmem.Buffer
+
+	cache *prefetchCache
+	batch *batchBuffer
+	// booted records whether the loaded program's per-DPU CI boot sequence
+	// has run (cleared by LoadProgram).
+	booted bool
+
+	stats Stats
+}
+
+// Stats counts frontend activity for the evaluation harness.
+type Stats struct {
+	// Messages is the number of guest->VMM request chains sent.
+	Messages int64
+	// CacheHits and CacheFills count prefetch cache activity.
+	CacheHits  int64
+	CacheFills int64
+	// BatchedWrites counts writes absorbed into the batch buffer;
+	// BatchFlushes counts the messages that carried them.
+	BatchedWrites int64
+	BatchFlushes  int64
+}
+
+var _ sdk.Device = (*Frontend)(nil)
+
+// New creates the frontend for one vUPMEM device. mem is the guest RAM, path
+// the VM's hypervisor transition layer, and tq/cq the device's transferq and
+// controlq. The backend must already be wired as the queues' handler.
+func New(id string, mem *hostmem.Memory, path *kvm.Path, tq, cq *virtio.Queue, model cost.Model, opts Options) *Frontend {
+	return &Frontend{
+		id:    id,
+		mem:   mem,
+		path:  path,
+		tq:    tq,
+		cq:    cq,
+		model: model,
+		opts:  opts.withDefaults(),
+	}
+}
+
+// ID reports the device identifier (used as the manager owner string).
+func (f *Frontend) ID() string { return f.id }
+
+// Stats returns a snapshot of the frontend counters.
+func (f *Frontend) Stats() Stats { return f.stats }
+
+// Attached reports whether a physical rank is currently linked.
+func (f *Frontend) Attached() bool { return f.attached }
+
+// NumDPUs implements sdk.Device (valid after attach).
+func (f *Frontend) NumDPUs() int { return int(f.cfg.NumDPUs) }
+
+// MRAMBytes implements sdk.Device.
+func (f *Frontend) MRAMBytes() int64 { return int64(f.cfg.MRAMBytes) }
+
+// FrequencyMHz implements sdk.Device.
+func (f *Frontend) FrequencyMHz() int { return int(f.cfg.FrequencyMHz) }
+
+// send pushes one request chain through the virtqueue: encode the header,
+// trap to the VMM, let the backend process, take the completion IRQ, check
+// the status descriptor. Returns the device-written response payload slice.
+func (f *Frontend) send(req virtio.Request, extra []virtio.Desc, tl *simtime.Timeline) ([]byte, error) {
+	n, err := req.Encode(f.hdrBuf.Data)
+	if err != nil {
+		return nil, err
+	}
+	descs := make([]virtio.Desc, 0, len(extra)+2)
+	descs = append(descs, virtio.Desc{GPA: f.hdrBuf.GPA, Len: uint32(n)})
+	descs = append(descs, extra...)
+	descs = append(descs, virtio.Desc{GPA: f.statusBuf.GPA, Len: uint32(len(f.statusBuf.Data)), Writable: true})
+
+	f.stats.Messages++
+	f.path.GuestToVMM(tl)
+	if err := f.tq.Submit(&virtio.Chain{Descs: descs}, tl); err != nil {
+		return nil, err
+	}
+	f.path.VMMToGuest(tl)
+
+	status, err := virtio.GetU64(f.statusBuf.Data, 0)
+	if err != nil {
+		return nil, err
+	}
+	if uint32(status) != virtio.StatusOK {
+		return nil, fmt.Errorf("%w: op %v", ErrDeviceError, req.Op)
+	}
+	return f.statusBuf.Data[8:], nil
+}
+
+// Attach links the device to a physical rank through the backend and the
+// manager, then performs device initialization: the configuration request
+// and the scratch/cache/batch buffer setup (Section 3.2).
+func (f *Frontend) Attach(tl *simtime.Timeline) error {
+	if f.attached {
+		return nil
+	}
+	if f.hdrBuf.Data == nil {
+		var err error
+		if f.hdrBuf, err = f.mem.Alloc(256); err != nil {
+			return fmt.Errorf("alloc header buffer: %w", err)
+		}
+		if f.statusBuf, err = f.mem.Alloc(64); err != nil {
+			return fmt.Errorf("alloc status buffer: %w", err)
+		}
+	}
+	// Rank attachment goes through the controlq: it synchronizes with the
+	// manager rather than moving data.
+	f.stats.Messages++
+	var hdr [64]byte
+	req := virtio.Request{Op: virtio.OpAttach}
+	n, err := req.Encode(hdr[:])
+	if err != nil {
+		return err
+	}
+	copy(f.hdrBuf.Data, hdr[:n])
+	f.path.GuestToVMM(tl)
+	if err := f.cq.Submit(&virtio.Chain{Descs: []virtio.Desc{
+		{GPA: f.hdrBuf.GPA, Len: uint32(n)},
+		{GPA: f.statusBuf.GPA, Len: uint32(len(f.statusBuf.Data)), Writable: true},
+	}}, tl); err != nil {
+		return err
+	}
+	f.path.VMMToGuest(tl)
+	if status, err := virtio.GetU64(f.statusBuf.Data, 0); err != nil {
+		return err
+	} else if uint32(status) != virtio.StatusOK {
+		return fmt.Errorf("%w: attach", ErrDeviceError)
+	}
+
+	// Configuration request over the transferq.
+	cfgBuf, err := f.mem.Alloc(virtio.ConfigResponseSize)
+	if err != nil {
+		return fmt.Errorf("alloc config buffer: %w", err)
+	}
+	f.attached = true // send() below is now legal
+	if _, err := f.send(virtio.Request{Op: virtio.OpConfig}, []virtio.Desc{
+		{GPA: cfgBuf.GPA, Len: uint32(len(cfgBuf.Data)), Writable: true},
+	}, tl); err != nil {
+		f.attached = false
+		return err
+	}
+	cfg, err := virtio.DecodeConfig(cfgBuf.Data)
+	if err != nil {
+		f.attached = false
+		return err
+	}
+	f.cfg = cfg
+	return f.setupBuffers()
+}
+
+// setupBuffers allocates the serialization scratch, the prefetch cache and
+// the batch buffer once the rank geometry is known.
+func (f *Frontend) setupBuffers() error {
+	nDPUs := int(f.cfg.NumDPUs)
+	pagesPerDPU := int((f.cfg.MRAMBytes + hostmem.PageSize - 1) / hostmem.PageSize)
+
+	var err error
+	if f.matrixMeta, err = f.mem.Alloc(8 * virtio.MatrixMetaWords); err != nil {
+		return err
+	}
+	if f.symBuf, err = f.mem.Alloc(hostmem.PageSize); err != nil {
+		return err
+	}
+	f.dpuMeta = make([]hostmem.Buffer, nDPUs)
+	f.pageBufs = make([]hostmem.Buffer, nDPUs)
+	for d := 0; d < nDPUs; d++ {
+		if f.dpuMeta[d], err = f.mem.Alloc(8 * virtio.DPUMetaWords); err != nil {
+			return err
+		}
+		if f.pageBufs[d], err = f.mem.Alloc(8 * pagesPerDPU); err != nil {
+			return err
+		}
+	}
+	if f.opts.Prefetch {
+		if f.cache, err = newPrefetchCache(f.mem, nDPUs, f.opts.PrefetchPages); err != nil {
+			return err
+		}
+	}
+	if f.opts.Batch {
+		if f.batch, err = newBatchBuffer(f.mem, nDPUs, f.opts.BatchPages); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MemoryOverheadBytes reports the frontend's per-DPU extra memory: the
+// serialized page table, the prefetch cache and the batch buffer
+// (Section 4.1 "Memory Overhead").
+func (f *Frontend) MemoryOverheadBytes() int64 {
+	if !f.attached {
+		return 0
+	}
+	pagesPerDPU := int64((f.cfg.MRAMBytes + hostmem.PageSize - 1) / hostmem.PageSize)
+	total := 8 * pagesPerDPU // page buffer: one u64 GPA per page
+	if f.opts.Prefetch {
+		total += int64(f.opts.PrefetchPages) * hostmem.PageSize
+	}
+	if f.opts.Batch {
+		total += int64(f.opts.BatchPages) * hostmem.PageSize
+	}
+	return total
+}
+
+func (f *Frontend) ensureAttached(tl *simtime.Timeline) error {
+	if f.attached {
+		return nil
+	}
+	return f.Attach(tl)
+}

@@ -1,0 +1,285 @@
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pim"
+
+	"repro/internal/sdk"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/virtio"
+)
+
+// WriteRank implements sdk.Device: a write-to-rank operation. Small writes
+// are absorbed into the batch buffer when batching is on; everything else
+// takes the zero-copy serialized-matrix path.
+func (f *Frontend) WriteRank(entries []sdk.DPUXfer, off int64, length int, tl *simtime.Timeline) error {
+	var err error
+	tl.Span(trace.OpWriteRank, func(tl *simtime.Timeline) {
+		if err = f.ensureAttached(tl); err != nil {
+			return
+		}
+		// Any write invalidates the prefetch cache (Section 4.1).
+		f.cache.invalidate()
+		if f.batch != nil && length <= f.opts.BatchThreshold &&
+			length+batchRecordHeader <= f.batch.capacity() {
+			err = f.batchAppend(entries, off, length, tl)
+			return
+		}
+		if err = f.flushBatch(tl); err != nil {
+			return
+		}
+		err = f.sendMatrix(virtio.OpWriteRank, entries, off, length, tl)
+	})
+	return err
+}
+
+// ReadRank implements sdk.Device: a read-from-rank operation, served from
+// the prefetch cache when possible.
+func (f *Frontend) ReadRank(entries []sdk.DPUXfer, off int64, length int, tl *simtime.Timeline) error {
+	var err error
+	tl.Span(trace.OpReadRank, func(tl *simtime.Timeline) {
+		if err = f.ensureAttached(tl); err != nil {
+			return
+		}
+		// Reads must observe every batched write.
+		if err = f.flushBatch(tl); err != nil {
+			return
+		}
+		if f.cache != nil && length <= f.cache.bytes() {
+			err = f.readViaCache(entries, off, length, tl)
+			return
+		}
+		err = f.sendMatrix(virtio.OpReadRank, entries, off, length, tl)
+	})
+	return err
+}
+
+// SymWrite implements sdk.Device: a host-symbol write travels as a small
+// command with an inline payload. Like every non-write-to-rank request it
+// flushes the batch first.
+func (f *Frontend) SymWrite(dpu int, symbol string, off int, src []byte, tl *simtime.Timeline) error {
+	var err error
+	tl.Span(trace.OpCI, func(tl *simtime.Timeline) {
+		if err = f.ensureAttached(tl); err != nil {
+			return
+		}
+		if err = f.flushBatch(tl); err != nil {
+			return
+		}
+		if len(src) > len(f.symBuf.Data) {
+			err = fmt.Errorf("driver: symbol payload %d exceeds %d", len(src), len(f.symBuf.Data))
+			return
+		}
+		copy(f.symBuf.Data, src)
+		_, err = f.send(virtio.Request{
+			Op:     virtio.OpSymWrite,
+			DPU:    uint32(dpu),
+			Offset: uint64(off),
+			Length: uint64(len(src)),
+			Symbol: symbol,
+		}, []virtio.Desc{{GPA: f.symBuf.GPA, Len: uint32(len(src))}}, tl)
+	})
+	return err
+}
+
+// SymBroadcast implements sdk.Device: one message writes the symbol on
+// every DPU (dpu_broadcast_to).
+func (f *Frontend) SymBroadcast(symbol string, off int, src []byte, tl *simtime.Timeline) error {
+	var err error
+	tl.Span(trace.OpCI, func(tl *simtime.Timeline) {
+		if err = f.ensureAttached(tl); err != nil {
+			return
+		}
+		if err = f.flushBatch(tl); err != nil {
+			return
+		}
+		if len(src) > len(f.symBuf.Data) {
+			err = fmt.Errorf("driver: symbol payload %d exceeds %d", len(src), len(f.symBuf.Data))
+			return
+		}
+		copy(f.symBuf.Data, src)
+		_, err = f.send(virtio.Request{
+			Op:     virtio.OpSymWrite,
+			DPU:    virtio.BroadcastDPU,
+			Offset: uint64(off),
+			Length: uint64(len(src)),
+			Symbol: symbol,
+		}, []virtio.Desc{{GPA: f.symBuf.GPA, Len: uint32(len(src))}}, tl)
+	})
+	return err
+}
+
+// SymRead implements sdk.Device.
+func (f *Frontend) SymRead(dpu int, symbol string, off int, dst []byte, tl *simtime.Timeline) error {
+	var err error
+	tl.Span(trace.OpCI, func(tl *simtime.Timeline) {
+		if err = f.ensureAttached(tl); err != nil {
+			return
+		}
+		if err = f.flushBatch(tl); err != nil {
+			return
+		}
+		if len(dst) > len(f.symBuf.Data) {
+			err = fmt.Errorf("driver: symbol payload %d exceeds %d", len(dst), len(f.symBuf.Data))
+			return
+		}
+		if _, err = f.send(virtio.Request{
+			Op:     virtio.OpSymRead,
+			DPU:    uint32(dpu),
+			Offset: uint64(off),
+			Length: uint64(len(dst)),
+			Symbol: symbol,
+		}, []virtio.Desc{{GPA: f.symBuf.GPA, Len: uint32(len(dst)), Writable: true}}, tl); err != nil {
+			return
+		}
+		copy(dst, f.symBuf.Data[:len(dst)])
+	})
+	return err
+}
+
+// LoadProgram implements sdk.Device: ship the binary name; the backend loads
+// it from the host registry onto every DPU.
+func (f *Frontend) LoadProgram(name string, tl *simtime.Timeline) error {
+	var err error
+	tl.Span(trace.OpCI, func(tl *simtime.Timeline) {
+		if err = f.ensureAttached(tl); err != nil {
+			return
+		}
+		if err = f.flushBatch(tl); err != nil {
+			return
+		}
+		f.cache.invalidate()
+		f.booted = false
+		_, err = f.send(virtio.Request{Op: virtio.OpLoadProgram, Symbol: name}, nil, tl)
+	})
+	return err
+}
+
+// Launch implements sdk.Device: start the program, then poll the device
+// status with CI commands until completion — each poll a full guest<->VMM
+// round trip, which is why CI-heavy programs (checksum) suffer under
+// virtualization (Fig. 12).
+func (f *Frontend) Launch(dpus []int, tl *simtime.Timeline) error {
+	if err := f.ensureAttached(tl); err != nil {
+		return err
+	}
+	if err := f.flushBatch(tl); err != nil {
+		return err
+	}
+	// Launching DPU programs invalidates the cache (CI operations).
+	f.cache.invalidate()
+	var mask uint64
+	for _, d := range dpus {
+		if d < 0 || d >= 64 {
+			return fmt.Errorf("driver: DPU %d outside mask range", d)
+		}
+		mask |= 1 << uint(d)
+	}
+	// The CI boot sequence: each operation is a full guest<->VMM round
+	// trip, accounted in aggregate (the individual messages carry no
+	// payload). The per-chip boot sequence runs on the first launch after
+	// a load; relaunches only restart the chips.
+	boot := int64(pim.ChipsPerRank)
+	if !f.booted {
+		boot = int64(pim.ChipsPerRank) * int64(f.model.LaunchCIOpsPerChip)
+		f.booted = true
+	}
+	f.path.AddRoundTrips(boot)
+	f.stats.Messages += boot
+	tl.Charge(trace.OpCI,
+		time.Duration(boot)*(f.model.MessageRoundTrip()+f.model.CIOperation))
+
+	var err error
+	tl.Span(trace.OpCI, func(tl *simtime.Timeline) {
+		_, err = f.send(virtio.Request{Op: virtio.OpLaunch, DPUMask: mask}, nil, tl)
+	})
+	if err != nil {
+		return err
+	}
+	interval := f.model.LaunchPollInterval
+	for {
+		start := tl.Now()
+		var done bool
+		tl.Span(trace.OpCI, func(tl *simtime.Timeline) {
+			var payload []byte
+			payload, err = f.send(virtio.Request{Op: virtio.OpCI, Offset: ciCmdStatus}, nil, tl)
+			if err == nil {
+				done = len(payload) > 0 && payload[0] != 0
+			}
+		})
+		if err != nil || done {
+			return err
+		}
+		if spent := tl.Now() - start; spent < interval {
+			// The SDK sleeps out the rest of the poll interval.
+			tl.Advance(interval - spent)
+		}
+	}
+}
+
+// LaunchStart implements sdk.Device: the asynchronous launch. The backend
+// reports the completion instant in the response payload (a paravirtual
+// shortcut the synchronous path does not need), so the guest can overlap
+// host work and sleep until completion instead of polling.
+func (f *Frontend) LaunchStart(dpus []int, tl *simtime.Timeline) (simtime.Duration, error) {
+	if err := f.ensureAttached(tl); err != nil {
+		return 0, err
+	}
+	if err := f.flushBatch(tl); err != nil {
+		return 0, err
+	}
+	f.cache.invalidate()
+	var mask uint64
+	for _, d := range dpus {
+		if d < 0 || d >= 64 {
+			return 0, fmt.Errorf("driver: DPU %d outside mask range", d)
+		}
+		mask |= 1 << uint(d)
+	}
+	boot := int64(pim.ChipsPerRank)
+	if !f.booted {
+		boot = int64(pim.ChipsPerRank) * int64(f.model.LaunchCIOpsPerChip)
+		f.booted = true
+	}
+	f.path.AddRoundTrips(boot)
+	f.stats.Messages += boot
+	tl.Charge(trace.OpCI,
+		time.Duration(boot)*(f.model.MessageRoundTrip()+f.model.CIOperation))
+
+	var completion simtime.Duration
+	var err error
+	tl.Span(trace.OpCI, func(tl *simtime.Timeline) {
+		var payload []byte
+		payload, err = f.send(virtio.Request{Op: virtio.OpLaunch, DPUMask: mask}, nil, tl)
+		if err == nil && len(payload) >= 8 {
+			v, gerr := virtio.GetU64(payload, 0)
+			if gerr == nil {
+				completion = simtime.Duration(v)
+			}
+		}
+	})
+	return completion, err
+}
+
+// ciCmdStatus is the CI command code for a status poll (Request.Offset).
+const ciCmdStatus = 1
+
+// Release implements sdk.Device: detach the physical rank so the manager can
+// reallocate it (after a reset) to another VM.
+func (f *Frontend) Release(tl *simtime.Timeline) error {
+	if !f.attached {
+		return nil
+	}
+	if err := f.flushBatch(tl); err != nil {
+		return err
+	}
+	f.cache.invalidate()
+	if _, err := f.send(virtio.Request{Op: virtio.OpRelease}, nil, tl); err != nil {
+		return err
+	}
+	f.attached = false
+	return nil
+}

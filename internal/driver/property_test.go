@@ -1,0 +1,96 @@
+package driver_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vmm"
+)
+
+// TestRandomSmallWritesProperty drives the full virtualized write path —
+// batching, packing, flushing, interleaving — with random sequences of
+// small writes and checks that a final bulk read observes exactly what a
+// shadow model predicts. This is the end-to-end correctness property behind
+// the request-batching optimization.
+func TestRandomSmallWritesProperty(t *testing.T) {
+	const region = 256 << 10
+	rng := rand.New(rand.NewSource(7))
+	f := func(ops []uint32) bool {
+		vm, _, set := stack(t, vmm.Full())
+		shadow := make([]byte, region)
+		data := mkBuf(t, vm, 4096, 0)
+
+		for i, op := range ops {
+			off := int64(op) % (region - 4096)
+			off &^= 7
+			size := 8 + int(op>>16)%2048
+			size &^= 7
+			fill := byte(i + 1)
+			for j := 0; j < size; j++ {
+				data.Data[j] = fill
+			}
+			if err := set.CopyToMRAM(1, off, data, size); err != nil {
+				t.Logf("write: %v", err)
+				return false
+			}
+			copy(shadow[off:off+int64(size)], data.Data[:size])
+		}
+
+		out := mkBuf(t, vm, region, 0)
+		if err := set.CopyFromMRAM(1, 0, out, region); err != nil {
+			t.Logf("read: %v", err)
+			return false
+		}
+		return bytes.Equal(out.Data[:region], shadow)
+	}
+	cfg := &quick.Config{Rand: rng, MaxCount: 20, MaxCountScale: 0}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInterleavedReadsAndWritesProperty mixes small reads between the
+// writes, exercising flush-on-read ordering and cache invalidation.
+func TestInterleavedReadsAndWritesProperty(t *testing.T) {
+	const region = 128 << 10
+	rng := rand.New(rand.NewSource(11))
+	f := func(ops []uint32) bool {
+		vm, _, set := stack(t, vmm.Full())
+		shadow := make([]byte, region)
+		data := mkBuf(t, vm, 1024, 0)
+		out := mkBuf(t, vm, 1024, 0)
+
+		for i, op := range ops {
+			off := (int64(op) % (region - 1024)) &^ 7
+			size := (8 + int(op>>20)%1016) &^ 7
+			if op%3 == 0 {
+				// Read and compare against the shadow.
+				if err := set.CopyFromMRAM(2, off, out, size); err != nil {
+					t.Logf("read: %v", err)
+					return false
+				}
+				if !bytes.Equal(out.Data[:size], shadow[off:off+int64(size)]) {
+					t.Logf("stale read at %d+%d after op %d", off, size, i)
+					return false
+				}
+			} else {
+				fill := byte(i*3 + 1)
+				for j := 0; j < size; j++ {
+					data.Data[j] = fill
+				}
+				if err := set.CopyToMRAM(2, off, data, size); err != nil {
+					t.Logf("write: %v", err)
+					return false
+				}
+				copy(shadow[off:off+int64(size)], data.Data[:size])
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Rand: rng, MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/hostmem"
+	"repro/internal/sdk"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/virtio"
+)
+
+// matrixRow is one row of the transfer matrix (Fig. 6): one DPU's data.
+type matrixRow struct {
+	dpu     int
+	buf     hostmem.Buffer
+	size    int
+	mramOff int64
+}
+
+// sendMatrix serializes a uniform transfer (same offset and length on every
+// DPU) and pushes it through the virtqueue.
+func (f *Frontend) sendMatrix(op virtio.Op, entries []sdk.DPUXfer, off int64, length int, tl *simtime.Timeline) error {
+	rows := make([]matrixRow, len(entries))
+	for i, e := range entries {
+		rows[i] = matrixRow{dpu: e.DPU, buf: e.Buf, size: length, mramOff: off}
+	}
+	return f.sendMatrixRows(op, rows, uint64(off), uint64(length), tl)
+}
+
+// sendMatrixRows serializes arbitrary rows. The request offset carries
+// virtio.BatchSentinel for packed batch flushes.
+func (f *Frontend) sendMatrixRows(op virtio.Op, rows []matrixRow, reqOff, reqLen uint64, tl *simtime.Timeline) error {
+	if len(rows) > len(f.dpuMeta) {
+		return fmt.Errorf("driver: %d matrix rows exceed %d DPUs", len(rows), len(f.dpuMeta))
+	}
+
+	// Page management: the driver re-anchors the userspace pages backing
+	// each row so the serialized GPAs stay valid (Fig. 13 "Page").
+	totalPages := 0
+	for _, row := range rows {
+		b := row.buf
+		b.Data = b.Data[:row.size]
+		totalPages += len(b.Pages())
+	}
+	tl.Charge(trace.StepPage, mulDur(f.model.PageManagement, totalPages))
+
+	// Serialization: convert the matrix into metadata + page buffers of
+	// 64-bit integers (Fig. 7).
+	var err error
+	descs := make([]virtio.Desc, 0, 2*len(rows)+1)
+	tl.Span(trace.StepSer, func(tl *simtime.Timeline) {
+		if err = virtio.PutU64s(f.matrixMeta.Data, []uint64{uint64(len(rows))}); err != nil {
+			return
+		}
+		descs = append(descs, virtio.Desc{GPA: f.matrixMeta.GPA, Len: uint32(len(f.matrixMeta.Data))})
+		for i, row := range rows {
+			b := row.buf
+			b.Data = b.Data[:row.size]
+			pages := b.Pages()
+			meta := []uint64{
+				uint64(row.dpu),
+				uint64(row.size),
+				uint64(row.mramOff),
+				uint64(len(pages)),
+				b.GPA % hostmem.PageSize,
+			}
+			if err = virtio.PutU64s(f.dpuMeta[i].Data, meta); err != nil {
+				return
+			}
+			if 8*len(pages) > len(f.pageBufs[i].Data) {
+				err = fmt.Errorf("driver: row %d needs %d pages, page buffer holds %d",
+					i, len(pages), len(f.pageBufs[i].Data)/8)
+				return
+			}
+			if err = virtio.PutU64s(f.pageBufs[i].Data, pages); err != nil {
+				return
+			}
+			descs = append(descs,
+				virtio.Desc{GPA: f.dpuMeta[i].GPA, Len: uint32(len(f.dpuMeta[i].Data))},
+				virtio.Desc{GPA: f.pageBufs[i].GPA, Len: uint32(8 * len(pages)), Writable: false},
+			)
+		}
+		tl.Advance(mulDur(f.model.SerializeDPU, len(rows)))
+		tl.Advance(mulDur(f.model.SerializePage, totalPages))
+		tl.Advance(f.model.VirtqueuePush)
+	})
+	if err != nil {
+		return err
+	}
+	if len(descs)+2 > virtio.TransferQueueSize {
+		return fmt.Errorf("driver: chain of %d buffers exceeds transferq", len(descs)+2)
+	}
+
+	_, err = f.send(virtio.Request{Op: op, Offset: reqOff, Length: reqLen}, descs, tl)
+	return err
+}
+
+// mulDur multiplies a per-item cost by a count.
+func mulDur(per simtime.Duration, n int) simtime.Duration {
+	return per * simtime.Duration(n)
+}

@@ -1,0 +1,164 @@
+// Package hostmem models a VM's guest physical memory and the guest
+// physical address (GPA) to host virtual address (HVA) mapping that the vPIM
+// backend uses for zero-copy access to guest pages.
+//
+// Guest RAM is a flat GPA space backed lazily by per-allocation host
+// buffers, so a "128 GB" VM costs only what its applications actually
+// allocate. The VMM holds a page table mapping guest page frames to their
+// backing allocations; translation is a real lookup per page, which is the
+// work the backend parallelizes across translation threads (Section 4.2).
+// Zero-copy is structural: the backend obtains slices aliasing guest memory
+// rather than copies.
+package hostmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PageSize is the guest page size (4 KB, as in the paper's transfer-matrix
+// arithmetic: 64 MB / 4 KB = 16384 pages per DPU).
+const PageSize = 4096
+
+// Errors reported by the memory model.
+var (
+	ErrOutOfMemory   = errors.New("hostmem: guest memory exhausted")
+	ErrBadAddress    = errors.New("hostmem: address outside guest RAM")
+	ErrNotTranslated = errors.New("hostmem: no GPA->HVA mapping for page")
+)
+
+// allocation is one guest buffer: startPage is its first guest page frame.
+type allocation struct {
+	startPage int64
+	data      []byte
+}
+
+// Memory is one VM's guest RAM plus its GPA->HVA page table.
+type Memory struct {
+	mu       sync.Mutex
+	capacity int64
+	next     int64
+	// table maps guest page frames to allocation indices (-1 = unmapped).
+	table  []int32
+	allocs []allocation
+}
+
+// New creates guest RAM of the given capacity. Backing memory is committed
+// per allocation, mirroring how a freshly booted microVM's RAM is populated
+// on demand.
+func New(size int64) *Memory {
+	pages := (size + PageSize - 1) / PageSize
+	table := make([]int32, pages)
+	for i := range table {
+		table[i] = -1
+	}
+	return &Memory{capacity: pages * PageSize, table: table}
+}
+
+// Size reports the guest RAM capacity in bytes.
+func (m *Memory) Size() int64 { return m.capacity }
+
+// Buffer is a guest userspace allocation: the guest-visible bytes plus the
+// GPA where they live. Data aliases guest RAM, so writes through it are
+// visible to the backend (and vice versa) — that is the zero-copy property.
+type Buffer struct {
+	GPA  uint64
+	Data []byte
+}
+
+// Pages lists the GPAs of the (page-aligned) pages backing the buffer.
+func (b Buffer) Pages() []uint64 {
+	if len(b.Data) == 0 {
+		return nil
+	}
+	first := b.GPA / PageSize
+	last := (b.GPA + uint64(len(b.Data)) - 1) / PageSize
+	pages := make([]uint64, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		pages = append(pages, p*PageSize)
+	}
+	return pages
+}
+
+// Alloc reserves n bytes of page-aligned guest memory.
+func (m *Memory) Alloc(n int) (Buffer, error) {
+	if n < 0 {
+		return Buffer{}, fmt.Errorf("hostmem: negative allocation %d", n)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	aligned := (int64(n) + PageSize - 1) / PageSize * PageSize
+	if m.next+aligned > m.capacity {
+		return Buffer{}, fmt.Errorf("%w: want %d, %d free", ErrOutOfMemory, n, m.capacity-m.next)
+	}
+	gpa := m.next
+	m.next += aligned
+	a := allocation{startPage: gpa / PageSize, data: make([]byte, aligned)}
+	idx := int32(len(m.allocs))
+	m.allocs = append(m.allocs, a)
+	for p := a.startPage; p < a.startPage+aligned/PageSize; p++ {
+		m.table[p] = idx
+	}
+	return Buffer{GPA: uint64(gpa), Data: a.data[:n:aligned]}, nil
+}
+
+// FreeAll resets the allocator. Existing Buffers become dangling; it is
+// meant for reusing one VM across benchmark iterations.
+func (m *Memory) FreeAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.next = 0
+	m.allocs = nil
+	for i := range m.table {
+		m.table[i] = -1
+	}
+}
+
+// lookup resolves the allocation covering [gpa, gpa+n).
+func (m *Memory) lookup(gpa uint64, n int) (allocation, error) {
+	page := int64(gpa / PageSize)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n < 0 || page < 0 || page >= int64(len(m.table)) {
+		return allocation{}, fmt.Errorf("%w: GPA %#x len %d", ErrBadAddress, gpa, n)
+	}
+	idx := m.table[page]
+	if idx < 0 {
+		return allocation{}, fmt.Errorf("%w: GPA %#x", ErrNotTranslated, gpa)
+	}
+	a := m.allocs[idx]
+	off := int64(gpa) - a.startPage*PageSize
+	if off+int64(n) > int64(len(a.data)) {
+		return allocation{}, fmt.Errorf("%w: GPA %#x len %d crosses allocation", ErrBadAddress, gpa, n)
+	}
+	return a, nil
+}
+
+// Translate maps one guest physical page address to the host slice backing
+// it: the GPA->HVA lookup the backend performs per page of a transfer
+// matrix. The GPA must be page-aligned.
+func (m *Memory) Translate(gpa uint64) ([]byte, error) {
+	if gpa%PageSize != 0 {
+		return nil, fmt.Errorf("%w: GPA %#x not page aligned", ErrBadAddress, gpa)
+	}
+	a, err := m.lookup(gpa, PageSize)
+	if err != nil {
+		return nil, err
+	}
+	off := int64(gpa) - a.startPage*PageSize
+	return a.data[off : off+PageSize : off+PageSize], nil
+}
+
+// Slice returns the guest bytes [gpa, gpa+n) for direct (already
+// translated) access. Used by the frontend, which lives in the guest and
+// addresses its own RAM without translation; the range must lie within one
+// allocation.
+func (m *Memory) Slice(gpa uint64, n int) ([]byte, error) {
+	a, err := m.lookup(gpa, n)
+	if err != nil {
+		return nil, err
+	}
+	off := int64(gpa) - a.startPage*PageSize
+	return a.data[off : off+int64(n) : off+int64(n)], nil
+}

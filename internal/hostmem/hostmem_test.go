@@ -1,0 +1,181 @@
+package hostmem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocPageAligned(t *testing.T) {
+	m := New(1 << 20)
+	a, err := m.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GPA%PageSize != 0 || b.GPA%PageSize != 0 {
+		t.Errorf("allocations not page aligned: %#x %#x", a.GPA, b.GPA)
+	}
+	if b.GPA == a.GPA {
+		t.Error("allocations overlap")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	m := New(2 * PageSize)
+	if _, err := m.Alloc(PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(2 * PageSize); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("want ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestAllocNegative(t *testing.T) {
+	m := New(1 << 20)
+	if _, err := m.Alloc(-1); err == nil {
+		t.Error("negative allocation must fail")
+	}
+}
+
+func TestBufferPages(t *testing.T) {
+	m := New(1 << 20)
+	buf, err := m.Alloc(PageSize + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := buf.Pages()
+	if len(pages) != 2 {
+		t.Fatalf("4097-byte buffer spans %d pages, want 2", len(pages))
+	}
+	if pages[0] != buf.GPA || pages[1] != buf.GPA+PageSize {
+		t.Errorf("page GPAs wrong: %#x %#x", pages[0], pages[1])
+	}
+	if got := (Buffer{}).Pages(); got != nil {
+		t.Errorf("empty buffer pages = %v, want nil", got)
+	}
+}
+
+// TestUnalignedSubBufferPages covers sub-slices of allocations: an arbitrary
+// userspace pointer handed to dpu_prepare_xfer.
+func TestUnalignedSubBufferPages(t *testing.T) {
+	m := New(1 << 20)
+	buf, err := m.Alloc(4 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := Buffer{GPA: buf.GPA + 100, Data: buf.Data[100 : 100+PageSize]}
+	pages := sub.Pages()
+	if len(pages) != 2 {
+		t.Fatalf("unaligned page-sized buffer must span 2 pages, got %d", len(pages))
+	}
+}
+
+func TestZeroCopyVisibility(t *testing.T) {
+	m := New(1 << 20)
+	buf, err := m.Alloc(3 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf.Data, []byte("zero-copy"))
+	page, err := m.Translate(buf.GPA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(page, []byte("zero-copy")) {
+		t.Error("Translate does not alias the buffer")
+	}
+	page[0] = 'Z'
+	if buf.Data[0] != 'Z' {
+		t.Error("writes through the translated page must be guest visible")
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	m := New(1 << 20)
+	if _, err := m.Translate(123); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("unaligned GPA: want ErrBadAddress, got %v", err)
+	}
+	if _, err := m.Translate(1 << 30); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("out of range GPA: want ErrBadAddress, got %v", err)
+	}
+	if _, err := m.Translate(512 * 1024); !errors.Is(err, ErrNotTranslated) {
+		t.Errorf("unmapped page: want ErrNotTranslated, got %v", err)
+	}
+}
+
+func TestSliceWithinAllocation(t *testing.T) {
+	m := New(1 << 20)
+	buf, err := m.Alloc(2 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf.Data[PageSize-4:], []byte("ABCDEFGH"))
+	s, err := m.Slice(buf.GPA+PageSize-4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s) != "ABCDEFGH" {
+		t.Errorf("Slice = %q", s)
+	}
+	if _, err := m.Slice(buf.GPA, 3*PageSize); err == nil {
+		t.Error("slice beyond allocation must fail")
+	}
+}
+
+func TestFreeAll(t *testing.T) {
+	m := New(4 * PageSize)
+	if _, err := m.Alloc(4 * PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(PageSize); err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	m.FreeAll()
+	if _, err := m.Alloc(4 * PageSize); err != nil {
+		t.Errorf("allocation after FreeAll failed: %v", err)
+	}
+}
+
+// Property: data written through a buffer is byte-identical when read back
+// page by page through Translate (the backend's view).
+func TestTranslateRoundTripProperty(t *testing.T) {
+	m := New(8 << 20)
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			data = []byte{1}
+		}
+		buf, err := m.Alloc(len(data))
+		if err != nil {
+			m.FreeAll()
+			buf, err = m.Alloc(len(data))
+			if err != nil {
+				return false
+			}
+		}
+		copy(buf.Data, data)
+		var got []byte
+		for _, gpa := range buf.Pages() {
+			page, err := m.Translate(gpa)
+			if err != nil {
+				return false
+			}
+			got = append(got, page...)
+		}
+		return bytes.Equal(got[:len(data)], data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSize(t *testing.T) {
+	m := New(1000) // rounds up to a page
+	if m.Size() != PageSize {
+		t.Errorf("Size = %d, want %d", m.Size(), PageSize)
+	}
+}

@@ -1,0 +1,40 @@
+package kvm
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func TestTransitionsChargeAndCount(t *testing.T) {
+	model := cost.Default()
+	p := NewPath(model)
+	tr := simtime.NewTracker()
+	tl := simtime.New()
+	tl.Attach(tr)
+
+	p.GuestToVMM(tl)
+	if got, want := tl.Now(), model.TrapToVMM+model.EventDispatch; got != want {
+		t.Errorf("trap advanced %v, want %v", got, want)
+	}
+	p.VMMToGuest(tl)
+	if got, want := tl.Now(), model.MessageRoundTrip(); got != want {
+		t.Errorf("round trip advanced %v, want %v", got, want)
+	}
+	if p.Exits() != 1 || p.IRQs() != 1 {
+		t.Errorf("exits=%d irqs=%d, want 1/1", p.Exits(), p.IRQs())
+	}
+	if tr.Get(trace.StepInt) != model.MessageRoundTrip() {
+		t.Errorf("interrupt step = %v, want %v", tr.Get(trace.StepInt), model.MessageRoundTrip())
+	}
+}
+
+func TestAddRoundTrips(t *testing.T) {
+	p := NewPath(cost.Default())
+	p.AddRoundTrips(3000)
+	if p.Exits() != 3000 || p.IRQs() != 3000 {
+		t.Errorf("aggregate round trips not counted: %d/%d", p.Exits(), p.IRQs())
+	}
+}

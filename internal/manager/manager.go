@@ -1,0 +1,307 @@
+// Package manager implements vPIM's host-side manager (Section 3.5): the
+// userspace program that tracks every UPMEM rank on the machine, arbitrates
+// rank allocation between VMs (and native applications), and resets rank
+// memory between tenants so no data leaks across VMs (requirement R2).
+//
+// Rank lifecycle (Fig. 5): unallocated ranks start NAAV (not allocated,
+// available); allocation moves them to ALLO; release moves them to NANA (not
+// allocated, not available) until the reset erases their content and returns
+// them to NAAV. As an optimization the manager hands a NANA rank straight
+// back to its previous owner without resetting, saving the ~597 ms memset.
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/pim"
+)
+
+// RankState is a rank's position in the Fig. 5 lifecycle.
+type RankState int
+
+const (
+	// StateNAAV: not allocated, available (clean).
+	StateNAAV RankState = iota + 1
+	// StateALLO: allocated to a VM or native application.
+	StateALLO
+	// StateNANA: not allocated, not available (dirty, awaiting reset).
+	StateNANA
+)
+
+// String implements fmt.Stringer.
+func (s RankState) String() string {
+	switch s {
+	case StateNAAV:
+		return "NAAV"
+	case StateALLO:
+		return "ALLO"
+	case StateNANA:
+		return "NANA"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Errors reported by the manager.
+var (
+	// ErrNoRanks is returned when every retry attempt found no allocatable
+	// rank (the "request is abandoned" case of Section 3.5).
+	ErrNoRanks = errors.New("manager: no rank available after retries")
+	// ErrNotAllocated reports a release of a rank the manager does not
+	// consider allocated.
+	ErrNotAllocated = errors.New("manager: rank is not allocated")
+)
+
+// Options tunes the manager. Zero values select the prototype's defaults.
+type Options struct {
+	// Threads is the request thread-pool size (8 in the prototype).
+	Threads int
+	// Retries is how many times an allocation re-polls before abandoning.
+	Retries int
+	// RetryTimeout is the virtual wait between allocation attempts.
+	RetryTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads == 0 {
+		o.Threads = 8
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.RetryTimeout == 0 {
+		o.RetryTimeout = 100 * time.Millisecond
+	}
+	return o
+}
+
+type entry struct {
+	rank      *pim.Rank
+	state     RankState
+	owner     string
+	prevOwner string
+}
+
+// Manager is the rank table plus allocation policy. All methods are safe for
+// concurrent use.
+type Manager struct {
+	opts         Options
+	allocLatency time.Duration
+
+	mu      sync.Mutex
+	entries []entry
+	rrNext  int
+
+	allocs atomic64
+	resets atomic64
+}
+
+// atomic64 is a tiny counter; a named type keeps the struct fields tidy.
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add() {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+func (a *atomic64) get() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// New builds a manager over the machine's ranks; all start NAAV.
+func New(machine *pim.Machine, opts Options) *Manager {
+	ranks := machine.Ranks()
+	entries := make([]entry, len(ranks))
+	for i, r := range ranks {
+		entries[i] = entry{rank: r, state: StateNAAV}
+	}
+	return &Manager{
+		opts:         opts.withDefaults(),
+		allocLatency: machine.Model().ManagerAllocLatency,
+		entries:      entries,
+	}
+}
+
+// Alloc reserves one rank for owner and reports the virtual latency of the
+// allocation round trip: the manager's measured 36 ms when a NAAV (or
+// reusable NANA) rank exists, extended by the reset time when a foreign NANA
+// rank must be erased first, or by the retry timeouts when nothing is
+// available.
+//
+// The latency is returned rather than charged because the manager has no
+// timeline of its own: the requesting VM charges it.
+func (m *Manager) Alloc(owner string) (*pim.Rank, time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	allocLatency := m.allocLatency
+
+	// 1. Prefer a NANA rank previously owned by the requester: no reset
+	// needed, saving CPU cycles (Section 3.5).
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.state == StateNANA && e.prevOwner == owner {
+			e.state = StateALLO
+			e.owner = owner
+			m.allocs.add()
+			return e.rank, allocLatency, nil
+		}
+	}
+	// 2. Round-robin over NAAV ranks.
+	n := len(m.entries)
+	for k := 0; k < n; k++ {
+		i := (m.rrNext + k) % n
+		e := &m.entries[i]
+		if e.state == StateNAAV {
+			e.state = StateALLO
+			e.owner = owner
+			m.rrNext = (i + 1) % n
+			m.allocs.add()
+			return e.rank, allocLatency, nil
+		}
+	}
+	// 3. Reset a foreign NANA rank; the requester waits out the memset.
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.state == StateNANA {
+			e.rank.Reset()
+			m.resets.add()
+			e.state = StateALLO
+			e.owner = owner
+			m.allocs.add()
+			return e.rank, allocLatency + e.rank.ResetDuration(), nil
+		}
+	}
+	// 4. Everything is ALLO: retry with timeouts, then abandon.
+	waited := time.Duration(m.opts.Retries) * m.opts.RetryTimeout
+	return nil, waited, ErrNoRanks
+}
+
+// Release returns a rank to the manager. In the real system the VM does not
+// call the manager: a dedicated observer thread notices the release through
+// the rank's sysfs status file; this method is that observation. The rank
+// becomes NANA until ProcessResets (the observer's background erase) or a
+// same-owner reallocation.
+func (m *Manager) Release(r *pim.Rank) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.rank == r {
+			if e.state != StateALLO {
+				return fmt.Errorf("%w: rank %d in %v", ErrNotAllocated, r.Index(), e.state)
+			}
+			e.state = StateNANA
+			e.prevOwner = e.owner
+			e.owner = ""
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: unknown rank", ErrNotAllocated)
+}
+
+// ProcessResets performs the observer thread's background work: erase every
+// NANA rank and mark it NAAV. It reports the virtual time the resets took
+// (the ~597 ms/rank memset of Section 4.2); resets of distinct ranks run
+// sequentially on the observer thread, so the durations add.
+func (m *Manager) ProcessResets() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total time.Duration
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.state == StateNANA {
+			e.rank.Reset()
+			m.resets.add()
+			total += e.rank.ResetDuration()
+			e.state = StateNAAV
+			e.prevOwner = ""
+		}
+	}
+	return total
+}
+
+// AcquireNative reserves ranks covering nrDPUs for a host-native
+// application. Native applications bypass the manager's socket protocol (the
+// observer merely sees their usage), so no allocation latency applies.
+func (m *Manager) AcquireNative(nrDPUs int) ([]*pim.Rank, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var picked []*pim.Rank
+	covered := 0
+	for i := range m.entries {
+		if covered >= nrDPUs {
+			break
+		}
+		e := &m.entries[i]
+		switch e.state {
+		case StateNAAV:
+		case StateNANA:
+			e.rank.Reset()
+			m.resets.add()
+		default:
+			continue
+		}
+		e.state = StateALLO
+		e.owner = "native"
+		picked = append(picked, e.rank)
+		covered += e.rank.NumDPUs()
+	}
+	if covered < nrDPUs {
+		// Roll back the partial acquisition.
+		for _, r := range picked {
+			for i := range m.entries {
+				if m.entries[i].rank == r {
+					m.entries[i].state = StateNAAV
+					m.entries[i].owner = ""
+				}
+			}
+		}
+		return nil, fmt.Errorf("%w: want %d DPUs", ErrNoRanks, nrDPUs)
+	}
+	return picked, nil
+}
+
+// ReleaseNative returns a native application's rank (observed via sysfs,
+// like a VM release).
+func (m *Manager) ReleaseNative(r *pim.Rank) {
+	// Errors here mean double release; native.RankPool has no error path
+	// and the state machine is already consistent, so drop it.
+	_ = m.Release(r)
+}
+
+// States snapshots the rank table for tests and the admin CLI.
+func (m *Manager) States() []RankState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]RankState, len(m.entries))
+	for i := range m.entries {
+		out[i] = m.entries[i].state
+	}
+	return out
+}
+
+// Owners snapshots the owner column of the rank table.
+func (m *Manager) Owners() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.entries))
+	for i := range m.entries {
+		out[i] = m.entries[i].owner
+	}
+	return out
+}
+
+// Allocations reports how many allocations have been served.
+func (m *Manager) Allocations() int64 { return m.allocs.get() }
+
+// Resets reports how many rank resets have been performed.
+func (m *Manager) Resets() int64 { return m.resets.get() }

@@ -1,0 +1,78 @@
+package manager
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/pim"
+)
+
+// Migrate moves the tenant state of an allocated rank onto another
+// available rank and reassigns ownership: the dynamic workload
+// consolidation mechanism the paper's conclusion proposes (checkpoint/
+// restore between launches, since UPMEM cannot pause a running task).
+//
+// On success the returned rank is ALLO for the same owner with identical
+// contents, and the source rank is NANA awaiting reset. The returned
+// duration is the virtual checkpoint + restore (+ reset, when the target
+// was dirty) cost, which the caller charges to whoever requested the
+// migration.
+func (m *Manager) Migrate(from *pim.Rank) (*pim.Rank, time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var src *entry
+	for i := range m.entries {
+		if m.entries[i].rank == from {
+			src = &m.entries[i]
+			break
+		}
+	}
+	if src == nil || src.state != StateALLO {
+		return nil, 0, fmt.Errorf("%w: migration source", ErrNotAllocated)
+	}
+
+	// Pick a destination: prefer clean NAAV ranks, fall back to resetting
+	// a NANA rank.
+	var dst *entry
+	var extra time.Duration
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.rank != from && e.state == StateNAAV {
+			dst = e
+			break
+		}
+	}
+	if dst == nil {
+		for i := range m.entries {
+			e := &m.entries[i]
+			if e.rank != from && e.state == StateNANA {
+				e.rank.Reset()
+				m.resets.add()
+				extra += e.rank.ResetDuration()
+				dst = e
+				break
+			}
+		}
+	}
+	if dst == nil {
+		return nil, 0, fmt.Errorf("%w: no migration target", ErrNoRanks)
+	}
+
+	snap, ckDur, err := from.Checkpoint()
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint rank %d: %w", from.Index(), err)
+	}
+	rsDur, err := dst.rank.Restore(snap)
+	if err != nil {
+		return nil, 0, fmt.Errorf("restore rank %d: %w", dst.rank.Index(), err)
+	}
+
+	dst.state = StateALLO
+	dst.owner = src.owner
+	src.state = StateNANA
+	src.prevOwner = src.owner
+	src.owner = ""
+	m.allocs.add()
+	return dst.rank, extra + ckDur + rsDur, nil
+}

@@ -1,0 +1,97 @@
+package manager
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestMigrate(t *testing.T) {
+	mgr := New(testMachine(t, 3), Options{})
+	src, _, err := mgr.Alloc("tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WriteDPU(0, 0, []byte("migrate me")); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, dur, err := mgr.Migrate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 {
+		t.Error("migration has a modeled cost")
+	}
+	if dst == src {
+		t.Fatal("must land on another rank")
+	}
+	got := make([]byte, 10)
+	if err := dst.ReadDPU(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("migrate me")) {
+		t.Errorf("migrated contents = %q", got)
+	}
+	if mgr.States()[src.Index()] != StateNANA {
+		t.Error("source must be NANA after migration")
+	}
+	if mgr.States()[dst.Index()] != StateALLO || mgr.Owners()[dst.Index()] != "tenant" {
+		t.Error("destination must be ALLO for the tenant")
+	}
+}
+
+func TestMigratePrefersCleanThenResetsDirty(t *testing.T) {
+	mgr := New(testMachine(t, 2), Options{})
+	src, _, err := mgr.Alloc("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the only other rank via a second tenant's release.
+	other, _, err := mgr.Alloc("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.WriteDPU(0, 0, []byte{0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Release(other); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, _, err := mgr.Migrate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst != other {
+		t.Fatal("migration should reuse the NANA rank after resetting it")
+	}
+	got := make([]byte, 1)
+	if err := dst.ReadDPU(0, 4096, got); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant b's data must be gone (only tenant a's snapshot present).
+	probe := make([]byte, 1)
+	if err := dst.ReadDPU(1, 0, probe); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Resets() == 0 {
+		t.Error("a dirty target must be reset before restore")
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	mach := testMachine(t, 1)
+	mgr := New(mach, Options{})
+	rank, _ := mach.Rank(0)
+	if _, _, err := mgr.Migrate(rank); !errors.Is(err, ErrNotAllocated) {
+		t.Errorf("unallocated source: %v", err)
+	}
+	src, _, err := mgr.Alloc("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mgr.Migrate(src); !errors.Is(err, ErrNoRanks) {
+		t.Errorf("no target: %v", err)
+	}
+}

@@ -1,0 +1,228 @@
+package manager
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The wire protocol of the standalone manager daemon: newline-delimited JSON
+// over a UNIX domain socket, which is how VMs (Firecracker processes) reach
+// the manager in the real system (Section 3.5).
+
+// Request is one client message.
+type Request struct {
+	// Op is "alloc", "release" or "states".
+	Op string `json:"op"`
+	// Owner identifies the requesting vUPMEM device for "alloc".
+	Owner string `json:"owner,omitempty"`
+	// Rank is the rank index for "release".
+	Rank int `json:"rank,omitempty"`
+}
+
+// Response is one server message.
+type Response struct {
+	OK        bool     `json:"ok"`
+	Error     string   `json:"error,omitempty"`
+	Rank      int      `json:"rank,omitempty"`
+	LatencyNS int64    `json:"latencyNs,omitempty"`
+	States    []string `json:"states,omitempty"`
+}
+
+// Server exposes a Manager over a listener with the prototype's thread pool
+// (8 worker threads by default) for asynchronous request processing.
+type Server struct {
+	mgr *Manager
+
+	mu       sync.Mutex
+	listener net.Listener
+	wg       sync.WaitGroup
+	sem      chan struct{}
+	closed   bool
+}
+
+// NewServer wraps mgr for serving.
+func NewServer(mgr *Manager) *Server {
+	return &Server{
+		mgr: mgr,
+		sem: make(chan struct{}, mgr.opts.Threads),
+	}
+}
+
+// Serve accepts connections until Shutdown. It blocks; run it from a
+// dedicated goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("manager: server already shut down")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("accept: %w", err)
+		}
+		s.sem <- struct{}{} // bounded worker pool
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting and waits for in-flight connections.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	s.mu.Unlock()
+	if l != nil {
+		_ = l.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 64<<10), 64<<10)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req Request
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			_ = enc.Encode(Response{Error: fmt.Sprintf("bad request: %v", err)})
+			return
+		}
+		_ = enc.Encode(s.dispatch(req))
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Op {
+	case "alloc":
+		rank, latency, err := s.mgr.Alloc(req.Owner)
+		if err != nil {
+			return Response{Error: err.Error(), LatencyNS: int64(latency)}
+		}
+		return Response{OK: true, Rank: rank.Index(), LatencyNS: int64(latency)}
+	case "release":
+		m := s.mgr
+		m.mu.Lock()
+		var target *entry
+		for i := range m.entries {
+			if m.entries[i].rank.Index() == req.Rank {
+				target = &m.entries[i]
+				break
+			}
+		}
+		m.mu.Unlock()
+		if target == nil {
+			return Response{Error: fmt.Sprintf("unknown rank %d", req.Rank)}
+		}
+		if err := m.Release(target.rank); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
+	case "states":
+		states := s.mgr.States()
+		out := make([]string, len(states))
+		for i, st := range states {
+			out[i] = st.String()
+		}
+		return Response{OK: true, States: out}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client talks to a manager daemon over its socket.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	scan *bufio.Scanner
+}
+
+// Dial connects to the manager socket.
+func Dial(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial manager: %w", err)
+	}
+	scan := bufio.NewScanner(conn)
+	scan.Buffer(make([]byte, 64<<10), 64<<10)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), scan: scan}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("send: %w", err)
+	}
+	if !c.scan.Scan() {
+		if err := c.scan.Err(); err != nil {
+			return Response{}, fmt.Errorf("receive: %w", err)
+		}
+		return Response{}, errors.New("manager: connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.scan.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("decode: %w", err)
+	}
+	return resp, nil
+}
+
+// Alloc requests a rank for owner; it returns the rank index and the
+// modeled allocation latency.
+func (c *Client) Alloc(owner string) (int, time.Duration, error) {
+	resp, err := c.roundTrip(Request{Op: "alloc", Owner: owner})
+	if err != nil {
+		return 0, 0, err
+	}
+	if !resp.OK {
+		return 0, time.Duration(resp.LatencyNS), errors.New(resp.Error)
+	}
+	return resp.Rank, time.Duration(resp.LatencyNS), nil
+}
+
+// Release returns a rank by index.
+func (c *Client) Release(rank int) error {
+	resp, err := c.roundTrip(Request{Op: "release", Rank: rank})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return errors.New(resp.Error)
+	}
+	return nil
+}
+
+// States fetches the rank table states.
+func (c *Client) States() ([]string, error) {
+	resp, err := c.roundTrip(Request{Op: "states"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	return resp.States, nil
+}

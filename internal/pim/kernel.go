@@ -1,0 +1,102 @@
+package pim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Symbol describes a host-visible DPU program variable (the `__host`
+// variables of a real UPMEM binary). The host reads and writes symbols with
+// dpu_copy_from/dpu_copy_to; the kernel accesses them through the Ctx.
+type Symbol struct {
+	// Name is the linker name, e.g. "zero_count".
+	Name string
+	// Bytes is the symbol size in bytes.
+	Bytes int
+}
+
+// Kernel is a DPU program: the reproduction's analogue of a compiled DPU
+// binary. Run is invoked once per tasklet with a tasklet-private Ctx.
+type Kernel struct {
+	// Name identifies the binary, playing the role of the DPU_BINARY path.
+	Name string
+	// Tasklets is the number of tasklets the program starts (NR_TASKLETS).
+	Tasklets int
+	// CodeBytes models the binary size loaded into the 24 KB IRAM.
+	CodeBytes int
+	// Symbols lists the host-visible variables.
+	Symbols []Symbol
+	// Run is the tasklet entry point (the DPU-side main).
+	Run func(ctx *Ctx) error
+}
+
+// Validate checks the kernel against the hardware limits.
+func (k *Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("pim: kernel has no name")
+	}
+	if k.Tasklets < 1 || k.Tasklets > MaxTasklets {
+		return fmt.Errorf("%w: %d", ErrTooManyTasklets, k.Tasklets)
+	}
+	if k.CodeBytes > IRAMBytes {
+		return fmt.Errorf("%w: %d bytes", ErrIRAMOverflow, k.CodeBytes)
+	}
+	if k.Run == nil {
+		return fmt.Errorf("pim: kernel %q has no entry point", k.Name)
+	}
+	return nil
+}
+
+// Registry maps binary names to kernels; it stands in for the filesystem the
+// real SDK loads DPU binaries from. The zero value is empty and usable.
+type Registry struct {
+	kernels map[string]*Kernel
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{kernels: make(map[string]*Kernel)}
+}
+
+// Register adds a kernel, validating it first. Registering a duplicate name
+// is an error: two binaries cannot share a path.
+func (r *Registry) Register(k *Kernel) error {
+	if err := k.Validate(); err != nil {
+		return err
+	}
+	if r.kernels == nil {
+		r.kernels = make(map[string]*Kernel)
+	}
+	if _, ok := r.kernels[k.Name]; ok {
+		return fmt.Errorf("pim: kernel %q already registered", k.Name)
+	}
+	r.kernels[k.Name] = k
+	return nil
+}
+
+// MustRegister is Register for program-initialization time tables of
+// kernels, where a failure is a programming error.
+func (r *Registry) MustRegister(k *Kernel) {
+	if err := r.Register(k); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a binary name.
+func (r *Registry) Lookup(name string) (*Kernel, error) {
+	k, ok := r.kernels[name]
+	if !ok {
+		return nil, fmt.Errorf("pim: kernel %q not found", name)
+	}
+	return k, nil
+}
+
+// Names lists registered kernels in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.kernels))
+	for n := range r.kernels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,77 @@
+package pim
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+)
+
+// MachineConfig describes the PIM hardware installed in one host machine.
+// The paper's testbed has 4 UPMEM DIMMs = 8 ranks with 480 functional DPUs.
+type MachineConfig struct {
+	// Ranks is the number of UPMEM ranks.
+	Ranks int
+	// Rank configures each rank.
+	Rank RankConfig
+	// Model is the timing model; the zero value selects cost.Default.
+	Model cost.Model
+	// Registry resolves DPU binary names; nil creates an empty registry.
+	Registry *Registry
+}
+
+// Machine is the host's PIM hardware: the set of ranks plus the binary
+// registry (the simulation's filesystem of DPU programs).
+type Machine struct {
+	ranks    []*Rank
+	registry *Registry
+	model    cost.Model
+}
+
+// NewMachine builds the PIM hardware.
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("pim: machine needs at least one rank, got %d", cfg.Ranks)
+	}
+	model := cfg.Model
+	if model == (cost.Model{}) {
+		model = cost.Default()
+	}
+	registry := cfg.Registry
+	if registry == nil {
+		registry = NewRegistry()
+	}
+	m := &Machine{
+		ranks:    make([]*Rank, cfg.Ranks),
+		registry: registry,
+		model:    model,
+	}
+	for i := range m.ranks {
+		m.ranks[i] = NewRank(i, cfg.Rank, model)
+	}
+	return m, nil
+}
+
+// NumRanks reports the installed rank count.
+func (m *Machine) NumRanks() int { return len(m.ranks) }
+
+// Rank returns rank i.
+func (m *Machine) Rank(i int) (*Rank, error) {
+	if i < 0 || i >= len(m.ranks) {
+		return nil, fmt.Errorf("pim: rank %d out of range [0,%d)", i, len(m.ranks))
+	}
+	return m.ranks[i], nil
+}
+
+// Ranks returns all ranks in index order. The slice is a copy; the ranks are
+// shared.
+func (m *Machine) Ranks() []*Rank {
+	out := make([]*Rank, len(m.ranks))
+	copy(out, m.ranks)
+	return out
+}
+
+// Registry returns the DPU binary registry.
+func (m *Machine) Registry() *Registry { return m.registry }
+
+// Model returns the machine's timing model.
+func (m *Machine) Model() cost.Model { return m.model }

@@ -1,0 +1,100 @@
+package pim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestCheckpointRestore(t *testing.T) {
+	src := testRank(t, 4, 1<<20)
+	k := &Kernel{
+		Name: "k", Tasklets: 1,
+		Symbols: []Symbol{{Name: "v", Bytes: 4}},
+		Run:     func(ctx *Ctx) error { return nil },
+	}
+	for d := 0; d < 4; d++ {
+		if err := src.LoadProgram(d, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.WriteDPU(2, 4096, []byte("checkpointed state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SymbolWrite(1, "v", 0, []byte{9, 8, 7, 6}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, ckDur, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckDur <= 0 {
+		t.Error("checkpoint must take modeled time")
+	}
+	if snap.DPUs() != 4 || snap.MRAMBytes() != 1<<20 {
+		t.Errorf("snapshot geometry: %d DPUs, %d bytes", snap.DPUs(), snap.MRAMBytes())
+	}
+	if snap.CommittedBytes() == 0 {
+		t.Error("snapshot must carry the written chunk")
+	}
+
+	dst := testRank(t, 4, 1<<20)
+	if _, err := dst.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 18)
+	if err := dst.ReadDPU(2, 4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("checkpointed state")) {
+		t.Errorf("restored MRAM = %q", got)
+	}
+	var sym [4]byte
+	if err := dst.SymbolRead(1, "v", 0, sym[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sym[:], []byte{9, 8, 7, 6}) {
+		t.Errorf("restored symbol = %v", sym)
+	}
+	if dst.Program(0) != k {
+		t.Error("restored program missing")
+	}
+
+	// The snapshot is a deep copy: mutating the source afterwards must not
+	// leak into the restored rank.
+	if err := src.WriteDPU(2, 4096, []byte("MUTATED")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ReadDPU(2, 4096, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("checkpointed")) {
+		t.Error("snapshot aliases the source rank")
+	}
+}
+
+func TestRestoreGeometryMismatch(t *testing.T) {
+	src := testRank(t, 4, 1<<20)
+	snap, _, err := src.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := testRank(t, 2, 1<<20)
+	if _, err := dst.Restore(snap); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("geometry mismatch: %v", err)
+	}
+}
+
+func TestCheckpointEmptyRankIsCheap(t *testing.T) {
+	r := NewRank(0, RankConfig{DPUs: 64, MRAMBytes: 64 << 20}, cost.Default())
+	snap, dur, err := r.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.CommittedBytes() != 0 || dur != 0 {
+		t.Errorf("empty rank snapshot: %d bytes, %v", snap.CommittedBytes(), dur)
+	}
+}

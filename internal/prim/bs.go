@@ -1,0 +1,217 @@
+package prim
+
+import (
+	"fmt"
+
+	"repro/internal/pim"
+	"repro/internal/sdk"
+	"repro/internal/trace"
+)
+
+// BS: binary search. A sorted array is range-partitioned across DPUs; every
+// DPU receives the full query batch and searches its own partition, writing
+// the local hit position (or a miss marker) per query; the host merges.
+
+const (
+	bsBaseElems = 3_840_000
+	bsQueries   = 2048
+	bsMiss      = 0xFFFFFFFF
+)
+
+// bsKernel layout: sorted chunk at 0 (bs_n elements), queries at nBytes
+// (bs_q elements), results at nBytes + qBytes (8-byte slots per query).
+func bsKernel() *pim.Kernel {
+	return &pim.Kernel{
+		Name:      "prim/bs",
+		Tasklets:  DefaultTasklets,
+		CodeBytes: 7 << 10,
+		Symbols: []pim.Symbol{
+			{Name: "bs_n", Bytes: 4},
+			{Name: "bs_q", Bytes: 4},
+		},
+		Run: func(ctx *pim.Ctx) error {
+			if ctx.Me() == 0 {
+				ctx.ResetHeap()
+			}
+			ctx.Barrier()
+			n32, err := ctx.HostU32("bs_n")
+			if err != nil {
+				return err
+			}
+			q32, err := ctx.HostU32("bs_q")
+			if err != nil {
+				return err
+			}
+			n, q := int(n32), int(q32)
+			nBytes := int64(n) * 4
+			qBytes := int64(q) * 4
+			qBuf, err := ctx.Alloc(1024)
+			if err != nil {
+				return err
+			}
+			probe, err := ctx.Alloc(8)
+			if err != nil {
+				return err
+			}
+			out, err := ctx.Alloc(8)
+			if err != nil {
+				return err
+			}
+			nt := ctx.NumTasklets()
+			perQ := padTo((q+nt-1)/nt, 2)
+			start := ctx.Me() * perQ
+			end := start + perQ
+			if end > q {
+				end = q
+			}
+			if start > q {
+				start = q
+			}
+			for qoff := start; qoff < end; qoff += 256 {
+				cnt := 256
+				if end-qoff < cnt {
+					cnt = end - qoff
+				}
+				if err := ctx.MRAMRead(nBytes+int64(qoff)*4, qBuf[:cnt*4]); err != nil {
+					return err
+				}
+				for i := 0; i < cnt; i++ {
+					target := u32At(qBuf, i)
+					lo, hi := 0, n-1
+					res := uint32(bsMiss)
+					for lo <= hi {
+						mid := (lo + hi) / 2
+						// Each probe is one aligned 8-byte MRAM read.
+						if err := ctx.MRAMRead(int64(mid&^1)*4, probe); err != nil {
+							return err
+						}
+						v := u32At(probe, mid&1)
+						switch {
+						case v == target:
+							res = uint32(mid)
+							lo = hi + 1
+						case v < target:
+							lo = mid + 1
+						default:
+							hi = mid - 1
+						}
+						ctx.Tick(8)
+					}
+					putU32At(out, 0, res)
+					putU32At(out, 1, 0)
+					if err := ctx.MRAMWrite(out, nBytes+qBytes+int64(qoff+i)*8); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// RunBS executes the batch binary search and checks every query position.
+func RunBS(env sdk.Env, p Params) error {
+	p = p.withDefaults()
+	r := p.Rand()
+	n := p.size(bsBaseElems)
+	if n%p.DPUs != 0 {
+		return fmt.Errorf("bs: %d elements not divisible by %d DPUs", n, p.DPUs)
+	}
+	per := n / p.DPUs
+	perBytes := per * 4
+	q := bsQueries
+
+	arr := sortedU32(r, n)
+	queries := make([]uint32, q)
+	for i := range queries {
+		queries[i] = arr[r.Intn(n)]
+	}
+
+	set, err := env.AllocSet(p.DPUs)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = set.Free() }()
+	if err := set.Load("prim/bs"); err != nil {
+		return err
+	}
+
+	arrBuf, err := allocU32(env, arr)
+	if err != nil {
+		return err
+	}
+	qBuf, err := allocU32(env, queries)
+	if err != nil {
+		return err
+	}
+	resBuf, err := allocBytes(env, q*8)
+	if err != nil {
+		return err
+	}
+
+	tl := env.Timeline()
+	err = sdk.Phase(tl, trace.PhaseCPUDPU, func() error {
+		if err := setU32Sym(set, "bs_n", uint32(per)); err != nil {
+			return err
+		}
+		if err := setU32Sym(set, "bs_q", uint32(q)); err != nil {
+			return err
+		}
+		for d := 0; d < p.DPUs; d++ {
+			if err := set.PrepareXfer(d, subBuf(arrBuf, d*perBytes, perBytes)); err != nil {
+				return err
+			}
+		}
+		if err := set.PushXfer(sdk.ToDPU, 0, perBytes); err != nil {
+			return err
+		}
+		for d := 0; d < p.DPUs; d++ {
+			if err := set.PrepareXfer(d, qBuf); err != nil {
+				return err
+			}
+		}
+		return set.PushXfer(sdk.ToDPU, int64(perBytes), q*4)
+	})
+	if err != nil {
+		return err
+	}
+
+	if err := sdk.Phase(tl, trace.PhaseDPU, set.Launch); err != nil {
+		return err
+	}
+
+	found := make([]uint32, q)
+	for i := range found {
+		found[i] = bsMiss
+	}
+	err = sdk.Phase(tl, trace.PhaseDPUCPU, func() error {
+		for d := 0; d < p.DPUs; d++ {
+			if err := set.PrepareXfer(d, resBuf); err != nil {
+				return err
+			}
+			// Results are small; read each DPU's result block and merge.
+			if err := set.PushXfer(sdk.FromDPU, int64(perBytes)+int64(q)*4, q*8); err != nil {
+				return err
+			}
+			for i := 0; i < q; i++ {
+				if v := u32At(resBuf.Data, i*2); v != bsMiss {
+					found[i] = uint32(d*per) + v
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	for i, target := range queries {
+		if found[i] == bsMiss {
+			return fmt.Errorf("bs: query %d (%d) not found", i, target)
+		}
+		if arr[found[i]] != target {
+			return fmt.Errorf("bs: query %d found %d = %d, want %d", i, found[i], arr[found[i]], target)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package prim_test
+
+import (
+	"testing"
+
+	"repro/internal/manager"
+	"repro/internal/native"
+	"repro/internal/pim"
+	"repro/internal/prim"
+	"repro/internal/sdk"
+)
+
+// Edge-case behaviour of individual applications beyond the suite-wide
+// correctness runs.
+
+func edgeEnv(t *testing.T) sdk.Env {
+	t.Helper()
+	mach, mgr := newTestMachine(t)
+	return native.NewEnv(mach, mgr, 2<<30)
+}
+
+// bigEnv provides hardware-sized (64 MB) MRAM banks so low DPU counts can
+// hold their larger per-DPU chunks (storage commits lazily, so this is
+// cheap).
+func bigEnv(t *testing.T, dpus int) sdk.Env {
+	t.Helper()
+	mach, err := pim.NewMachine(pim.MachineConfig{
+		Ranks: 1,
+		Rank:  pim.RankConfig{DPUs: dpus},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prim.Register(mach.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	return native.NewEnv(mach, manager.New(mach, manager.Options{}), 4<<30)
+}
+
+// TestIndivisibleDatasetRejected: every application validates that its
+// dataset divides across the requested DPUs instead of silently mislaying
+// elements.
+func TestIndivisibleDatasetRejected(t *testing.T) {
+	for _, name := range []string{"VA", "RED", "GEMV", "BS", "TS", "SEL"} {
+		app, err := prim.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 7 does not divide any base dataset size.
+		if err := app.Run(edgeEnv(t), prim.Params{DPUs: 7}); err == nil {
+			t.Errorf("%s must reject an indivisible DPU count", name)
+		}
+	}
+}
+
+// TestSeedsChangeWorkloads: different seeds produce different virtual times
+// for data-dependent apps (the workload actually changed), while each seed
+// stays self-consistent.
+func TestSeedsChangeWorkloads(t *testing.T) {
+	app, err := prim.Lookup("SEL") // data-dependent compaction
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) int64 {
+		env := edgeEnv(t)
+		if err := app.Run(env, prim.Params{DPUs: testDPUs, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+		return int64(env.Timeline().Now())
+	}
+	a1, a2, b := run(1), run(1), run(2)
+	if a1 != a2 {
+		t.Errorf("same seed diverged: %d vs %d", a1, a2)
+	}
+	if a1 == b {
+		t.Error("different seeds produced identical virtual times (suspicious)")
+	}
+}
+
+// TestAllAppsSmallDPUCounts runs a representative subset at DPU counts that
+// stress partition boundaries (1 DPU, odd-ish counts that divide).
+func TestAllAppsSmallDPUCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boundary sweep is slow")
+	}
+	// All base sizes divide 2, 4, 8 and 16.
+	for _, dpus := range []int{2, 4, 8} {
+		for _, name := range []string{"VA", "RED", "SCAN-SSA", "HST-S", "NW"} {
+			app, err := prim.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := app.Run(bigEnv(t, dpus), prim.Params{DPUs: dpus}); err != nil {
+				t.Errorf("%s at %d DPUs: %v", name, dpus, err)
+			}
+		}
+	}
+}
+
+// TestScaleGrowsWork: Scale=2 must at least double an app's virtual time
+// relative to Scale=1 (workload really grew).
+func TestScaleGrowsWork(t *testing.T) {
+	app, err := prim.Lookup("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(scale int) int64 {
+		env := bigEnv(t, testDPUs)
+		if err := app.Run(env, prim.Params{DPUs: testDPUs, Scale: scale}); err != nil {
+			t.Fatal(err)
+		}
+		return int64(env.Timeline().Now())
+	}
+	one, two := run(1), run(2)
+	if float64(two) < 1.5*float64(one) {
+		t.Errorf("Scale=2 (%d) should roughly double Scale=1 (%d)", two, one)
+	}
+}

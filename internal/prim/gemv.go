@@ -1,0 +1,198 @@
+package prim
+
+import (
+	"fmt"
+
+	"repro/internal/pim"
+	"repro/internal/sdk"
+	"repro/internal/trace"
+)
+
+// GEMV: dense matrix-vector multiply, rows partitioned across DPUs. The
+// input vector is broadcast; each DPU computes its slice of y.
+
+const (
+	gemvBaseRows = 19200
+	gemvCols     = 512
+)
+
+// gemvKernel layout: row block at 0 (gemv_rows x gemv_cols u32), x at
+// rowsBytes, y output at rowsBytes + colsBytes.
+func gemvKernel() *pim.Kernel {
+	return &pim.Kernel{
+		Name:      "prim/gemv",
+		Tasklets:  DefaultTasklets,
+		CodeBytes: 8 << 10,
+		Symbols: []pim.Symbol{
+			{Name: "gemv_rows", Bytes: 4},
+			{Name: "gemv_cols", Bytes: 4},
+		},
+		Run: runGEMVKernel,
+	}
+}
+
+func runGEMVKernel(ctx *pim.Ctx) error {
+	if ctx.Me() == 0 {
+		ctx.ResetHeap()
+	}
+	ctx.Barrier()
+	rows32, err := ctx.HostU32("gemv_rows")
+	if err != nil {
+		return err
+	}
+	cols32, err := ctx.HostU32("gemv_cols")
+	if err != nil {
+		return err
+	}
+	rows, cols := int(rows32), int(cols32)
+	rowBytes := cols * 4
+	matBytes := int64(rows) * int64(rowBytes)
+
+	// All tasklets share the input vector in WRAM; tasklet 0 loads it.
+	x, err := ctx.Shared("gemv_x", rowBytes)
+	if err != nil {
+		return err
+	}
+	if ctx.Me() == 0 {
+		for off := 0; off < rowBytes; off += 2048 {
+			cnt := rowBytes - off
+			if cnt > 2048 {
+				cnt = 2048
+			}
+			if err := ctx.MRAMRead(matBytes+int64(off), x[off:off+cnt]); err != nil {
+				return err
+			}
+		}
+	}
+	ctx.Barrier()
+
+	rowBuf, err := ctx.Alloc(rowBytes)
+	if err != nil {
+		return err
+	}
+	yBuf, err := ctx.Alloc(8)
+	if err != nil {
+		return err
+	}
+	nt := ctx.NumTasklets()
+	for row := ctx.Me(); row < rows; row += nt {
+		if err := ctx.MRAMRead(int64(row)*int64(rowBytes), rowBuf); err != nil {
+			return err
+		}
+		var acc uint32
+		for c := 0; c < cols; c++ {
+			acc += u32At(rowBuf, c) * u32At(x, c)
+		}
+		ctx.Tick(int64(cols) * 4)
+		// y elements are 4 bytes but DMA needs 8-byte grain: rows are
+		// processed in pairs by parity so adjacent tasklets never share a
+		// word. Write each y value into an 8-byte aligned slot.
+		putU32At(yBuf, 0, acc)
+		putU32At(yBuf, 1, 0)
+		if err := ctx.MRAMWrite(yBuf, matBytes+int64(rowBytes)+int64(row)*8); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunGEMV executes y = M*x and checks against the CPU product.
+func RunGEMV(env sdk.Env, p Params) error {
+	p = p.withDefaults()
+	r := p.Rand()
+	rows := p.size(gemvBaseRows)
+	cols := gemvCols
+	if rows%p.DPUs != 0 {
+		return fmt.Errorf("gemv: %d rows not divisible by %d DPUs", rows, p.DPUs)
+	}
+	perRows := rows / p.DPUs
+	rowBytes := cols * 4
+	perBytes := perRows * rowBytes
+
+	mat := make([]uint32, rows*cols)
+	for i := range mat {
+		mat[i] = uint32(r.Intn(1 << 10))
+	}
+	x := make([]uint32, cols)
+	for i := range x {
+		x[i] = uint32(r.Intn(1 << 10))
+	}
+
+	set, err := env.AllocSet(p.DPUs)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = set.Free() }()
+	if err := set.Load("prim/gemv"); err != nil {
+		return err
+	}
+
+	matBuf, err := allocU32(env, mat)
+	if err != nil {
+		return err
+	}
+	xBuf, err := allocU32(env, x)
+	if err != nil {
+		return err
+	}
+	// y slots are 8 bytes per row (see kernel).
+	yBuf, err := allocBytes(env, rows*8)
+	if err != nil {
+		return err
+	}
+
+	tl := env.Timeline()
+	err = sdk.Phase(tl, trace.PhaseCPUDPU, func() error {
+		if err := setU32Sym(set, "gemv_rows", uint32(perRows)); err != nil {
+			return err
+		}
+		if err := setU32Sym(set, "gemv_cols", uint32(cols)); err != nil {
+			return err
+		}
+		for d := 0; d < p.DPUs; d++ {
+			if err := set.PrepareXfer(d, subBuf(matBuf, d*perBytes, perBytes)); err != nil {
+				return err
+			}
+		}
+		if err := set.PushXfer(sdk.ToDPU, 0, perBytes); err != nil {
+			return err
+		}
+		// Broadcast x to every DPU right after its row block.
+		for d := 0; d < p.DPUs; d++ {
+			if err := set.PrepareXfer(d, xBuf); err != nil {
+				return err
+			}
+		}
+		return set.PushXfer(sdk.ToDPU, int64(perBytes), rowBytes)
+	})
+	if err != nil {
+		return err
+	}
+
+	if err := sdk.Phase(tl, trace.PhaseDPU, set.Launch); err != nil {
+		return err
+	}
+
+	err = sdk.Phase(tl, trace.PhaseDPUCPU, func() error {
+		for d := 0; d < p.DPUs; d++ {
+			if err := set.PrepareXfer(d, subBuf(yBuf, d*perRows*8, perRows*8)); err != nil {
+				return err
+			}
+		}
+		return set.PushXfer(sdk.FromDPU, int64(perBytes)+int64(rowBytes), perRows*8)
+	})
+	if err != nil {
+		return err
+	}
+
+	for row := 0; row < rows; row++ {
+		var want uint32
+		for c := 0; c < cols; c++ {
+			want += mat[row*cols+c] * x[c]
+		}
+		if got := u32At(yBuf.Data, row*2); got != want {
+			return fmt.Errorf("gemv: y[%d] = %d, want %d", row, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package prim
+
+import "repro/internal/pim"
+
+// Kernels returns every DPU binary of the suite.
+func Kernels() []*pim.Kernel {
+	return []*pim.Kernel{
+		vaKernel(),
+		gemvKernel(),
+		spmvKernel(),
+		compactKernel("prim/sel", false),
+		compactKernel("prim/uni", true),
+		bsKernel(),
+		tsKernel(),
+		bfsKernel(),
+		mlpKernel(),
+		nwKernel(),
+		hstKernel("prim/hst-s", hstBinsShort, true),
+		hstKernel("prim/hst-l", hstBinsLong, false),
+		redKernel(),
+		scanScanKernel(),
+		scanAddKernel(),
+		scanReduceKernel(),
+		scanRSSScanKernel(),
+		trnsKernel(),
+	}
+}
+
+// Register installs all PrIM DPU binaries into a registry (the analogue of
+// building the suite's DPU-side binaries).
+func Register(reg *pim.Registry) error {
+	for _, k := range Kernels() {
+		if err := reg.Register(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package prim
+
+import (
+	"fmt"
+
+	"repro/internal/pim"
+	"repro/internal/sdk"
+	"repro/internal/trace"
+)
+
+// VA: vector addition. The canonical transfer-bound PrIM workload: bulk
+// parallel CPU-DPU pushes of A and B, a light add kernel, and a bulk DPU-CPU
+// pull of C.
+
+// vaBaseElems is the Scale=1 total element count: divisible by 60 and 480
+// for strong scaling, ~15 MB of input per operand side at Scale=1... per
+// paper the dataset fills one rank; we scale down (DESIGN.md).
+const vaBaseElems = 7_680_000
+
+// vaKernel adds the DPU's A and B chunks into C. MRAM layout: A at 0, B at
+// nBytes, C at 2*nBytes, where va_n is the per-DPU element count.
+func vaKernel() *pim.Kernel {
+	return &pim.Kernel{
+		Name:      "prim/va",
+		Tasklets:  DefaultTasklets,
+		CodeBytes: 6 << 10,
+		Symbols:   []pim.Symbol{{Name: "va_n", Bytes: 4}},
+		Run: func(ctx *pim.Ctx) error {
+			if ctx.Me() == 0 {
+				ctx.ResetHeap()
+			}
+			ctx.Barrier()
+			n32, err := ctx.HostU32("va_n")
+			if err != nil {
+				return err
+			}
+			n := int(n32)
+			nBytes := int64(n) * 4
+			per := padTo((n+ctx.NumTasklets()-1)/ctx.NumTasklets(), 2)
+			bufA, err := ctx.Alloc(1024)
+			if err != nil {
+				return err
+			}
+			bufB, err := ctx.Alloc(1024)
+			if err != nil {
+				return err
+			}
+			start := ctx.Me() * per
+			end := start + per
+			if end > n {
+				end = n
+			}
+			for off := start; off < end; off += 256 {
+				cnt := 256
+				if end-off < cnt {
+					cnt = end - off
+				}
+				b := cnt * 4
+				if err := ctx.MRAMRead(int64(off)*4, bufA[:b]); err != nil {
+					return err
+				}
+				if err := ctx.MRAMRead(nBytes+int64(off)*4, bufB[:b]); err != nil {
+					return err
+				}
+				for i := 0; i < cnt; i++ {
+					putU32At(bufA, i, u32At(bufA, i)+u32At(bufB, i))
+				}
+				ctx.Tick(int64(cnt) * 6)
+				if err := ctx.MRAMWrite(bufA[:b], 2*nBytes+int64(off)*4); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// RunVA executes vector addition and checks C = A + B.
+func RunVA(env sdk.Env, p Params) error {
+	p = p.withDefaults()
+	r := p.Rand()
+	n := p.size(vaBaseElems)
+	if n%p.DPUs != 0 {
+		return fmt.Errorf("va: %d elements not divisible by %d DPUs", n, p.DPUs)
+	}
+	per := n / p.DPUs
+	if per%2 != 0 {
+		return fmt.Errorf("va: per-DPU chunk %d not 8-byte aligned", per)
+	}
+	perBytes := per * 4
+
+	a := make([]uint32, n)
+	b := make([]uint32, n)
+	for i := range a {
+		a[i] = uint32(r.Intn(1 << 30))
+		b[i] = uint32(r.Intn(1 << 30))
+	}
+
+	set, err := env.AllocSet(p.DPUs)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = set.Free() }()
+	if err := set.Load("prim/va"); err != nil {
+		return err
+	}
+
+	bufA, err := allocU32(env, a)
+	if err != nil {
+		return err
+	}
+	bufB, err := allocU32(env, b)
+	if err != nil {
+		return err
+	}
+	bufC, err := allocBytes(env, 4*n)
+	if err != nil {
+		return err
+	}
+
+	tl := env.Timeline()
+	err = sdk.Phase(tl, trace.PhaseCPUDPU, func() error {
+		if err := setU32Sym(set, "va_n", uint32(per)); err != nil {
+			return err
+		}
+		for d := 0; d < p.DPUs; d++ {
+			if err := set.PrepareXfer(d, subBuf(bufA, d*perBytes, perBytes)); err != nil {
+				return err
+			}
+		}
+		if err := set.PushXfer(sdk.ToDPU, 0, perBytes); err != nil {
+			return err
+		}
+		for d := 0; d < p.DPUs; d++ {
+			if err := set.PrepareXfer(d, subBuf(bufB, d*perBytes, perBytes)); err != nil {
+				return err
+			}
+		}
+		return set.PushXfer(sdk.ToDPU, int64(perBytes), perBytes)
+	})
+	if err != nil {
+		return err
+	}
+
+	if err := sdk.Phase(tl, trace.PhaseDPU, set.Launch); err != nil {
+		return err
+	}
+
+	err = sdk.Phase(tl, trace.PhaseDPUCPU, func() error {
+		for d := 0; d < p.DPUs; d++ {
+			if err := set.PrepareXfer(d, subBuf(bufC, d*perBytes, perBytes)); err != nil {
+				return err
+			}
+		}
+		return set.PushXfer(sdk.FromDPU, 2*int64(perBytes), perBytes)
+	})
+	if err != nil {
+		return err
+	}
+
+	for i := 0; i < n; i++ {
+		if got, want := u32At(bufC.Data, i), a[i]+b[i]; got != want {
+			return fmt.Errorf("va: C[%d] = %d, want %d", i, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+package sdk
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/hostmem"
+	"repro/internal/simtime"
+)
+
+// fakeDevice records calls for Set-level tests.
+type fakeDevice struct {
+	dpus     int
+	writes   []recordedXfer
+	reads    []recordedXfer
+	launches [][]int
+	loads    []string
+	syms     map[string][]byte
+	released bool
+}
+
+type recordedXfer struct {
+	entries []DPUXfer
+	off     int64
+	length  int
+}
+
+var _ Device = (*fakeDevice)(nil)
+
+func newFakeDevice(dpus int) *fakeDevice {
+	return &fakeDevice{dpus: dpus, syms: make(map[string][]byte)}
+}
+
+func (f *fakeDevice) NumDPUs() int      { return f.dpus }
+func (f *fakeDevice) MRAMBytes() int64  { return 64 << 20 }
+func (f *fakeDevice) FrequencyMHz() int { return 350 }
+
+func (f *fakeDevice) LoadProgram(name string, tl *simtime.Timeline) error {
+	f.loads = append(f.loads, name)
+	tl.Advance(time.Microsecond)
+	return nil
+}
+
+func (f *fakeDevice) WriteRank(entries []DPUXfer, off int64, length int, tl *simtime.Timeline) error {
+	f.writes = append(f.writes, recordedXfer{entries: entries, off: off, length: length})
+	tl.Advance(time.Millisecond)
+	return nil
+}
+
+func (f *fakeDevice) ReadRank(entries []DPUXfer, off int64, length int, tl *simtime.Timeline) error {
+	f.reads = append(f.reads, recordedXfer{entries: entries, off: off, length: length})
+	tl.Advance(time.Millisecond)
+	return nil
+}
+
+func (f *fakeDevice) SymWrite(dpu int, symbol string, off int, src []byte, tl *simtime.Timeline) error {
+	f.syms[symbol] = append([]byte(nil), src...)
+	return nil
+}
+
+func (f *fakeDevice) SymBroadcast(symbol string, off int, src []byte, tl *simtime.Timeline) error {
+	f.syms[symbol] = append([]byte(nil), src...)
+	return nil
+}
+
+func (f *fakeDevice) SymRead(dpu int, symbol string, off int, dst []byte, tl *simtime.Timeline) error {
+	copy(dst, f.syms[symbol])
+	return nil
+}
+
+func (f *fakeDevice) Launch(dpus []int, tl *simtime.Timeline) error {
+	f.launches = append(f.launches, dpus)
+	tl.Advance(time.Millisecond)
+	return nil
+}
+
+func (f *fakeDevice) Release(tl *simtime.Timeline) error {
+	f.released = true
+	return nil
+}
+
+func buf(n int) hostmem.Buffer {
+	return hostmem.Buffer{GPA: 0, Data: make([]byte, n)}
+}
+
+func TestNewSetCapacity(t *testing.T) {
+	if _, err := NewSet([]Device{newFakeDevice(4)}, 5, simtime.New()); !errors.Is(err, ErrNotEnoughDPUs) {
+		t.Errorf("want ErrNotEnoughDPUs, got %v", err)
+	}
+	set, err := NewSet([]Device{newFakeDevice(4), newFakeDevice(4)}, 6, simtime.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.NumDPUs() != 6 || set.NumRanks() != 2 {
+		t.Errorf("set shape: %d DPUs, %d ranks", set.NumDPUs(), set.NumRanks())
+	}
+}
+
+func TestPushXferPartitionsByRank(t *testing.T) {
+	d0, d1 := newFakeDevice(4), newFakeDevice(4)
+	set, err := NewSet([]Device{d0, d1}, 8, simtime.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 8; d++ {
+		if err := set.PrepareXfer(d, buf(16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.PushXfer(ToDPU, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if len(d0.writes) != 1 || len(d1.writes) != 1 {
+		t.Fatalf("writes: %d/%d", len(d0.writes), len(d1.writes))
+	}
+	// Rank-local DPU indices.
+	for _, w := range [][]DPUXfer{d0.writes[0].entries, d1.writes[0].entries} {
+		for i, e := range w {
+			if e.DPU != i {
+				t.Errorf("rank-local index = %d, want %d", e.DPU, i)
+			}
+		}
+	}
+	// Staged buffers are consumed by the push.
+	if err := set.PushXfer(ToDPU, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if len(d0.writes) != 1 {
+		t.Error("push without prepared buffers must be a no-op")
+	}
+}
+
+func TestPushXferBufferTooSmall(t *testing.T) {
+	set, err := NewSet([]Device{newFakeDevice(2)}, 2, simtime.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.PrepareXfer(0, buf(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.PushXfer(ToDPU, 0, 16); !errors.Is(err, ErrBufferTooSmall) {
+		t.Errorf("want ErrBufferTooSmall, got %v", err)
+	}
+}
+
+func TestCopyRoutesToRank(t *testing.T) {
+	d0, d1 := newFakeDevice(4), newFakeDevice(4)
+	set, err := NewSet([]Device{d0, d1}, 8, simtime.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.CopyToMRAM(5, 64, buf(8), 8); err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.writes) != 1 || d1.writes[0].entries[0].DPU != 1 {
+		t.Errorf("global DPU 5 should be rank 1 local 1: %+v", d1.writes)
+	}
+	if err := set.CopyFromMRAM(0, 0, buf(8), 8); err != nil {
+		t.Fatal(err)
+	}
+	if len(d0.reads) != 1 {
+		t.Error("read not routed to rank 0")
+	}
+	if err := set.CopyToMRAM(8, 0, buf(8), 8); err == nil {
+		t.Error("out-of-set DPU must fail")
+	}
+}
+
+func TestLaunchCoversSetOnly(t *testing.T) {
+	d0, d1 := newFakeDevice(4), newFakeDevice(4)
+	set, err := NewSet([]Device{d0, d1}, 6, simtime.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d0.launches[0]) != 4 || len(d1.launches[0]) != 2 {
+		t.Errorf("launch sizes: %d/%d, want 4/2 (set of 6)", len(d0.launches[0]), len(d1.launches[0]))
+	}
+}
+
+func TestLoadAndSyms(t *testing.T) {
+	d0 := newFakeDevice(2)
+	set, err := NewSet([]Device{d0}, 2, simtime.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Load("bin/x"); err != nil {
+		t.Fatal(err)
+	}
+	if len(d0.loads) != 1 || d0.loads[0] != "bin/x" {
+		t.Errorf("loads = %v", d0.loads)
+	}
+	if err := set.BroadcastSym("n", 0, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	var got [1]byte
+	if err := set.CopyFromSym(1, "n", 0, got[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Errorf("sym = %d", got[0])
+	}
+}
+
+func TestFreeSemantics(t *testing.T) {
+	d0 := newFakeDevice(2)
+	set, err := NewSet([]Device{d0}, 2, simtime.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if !d0.released {
+		t.Error("Free must release devices")
+	}
+	if err := set.Free(); !errors.Is(err, ErrFreed) {
+		t.Errorf("double free: %v", err)
+	}
+	if err := set.Launch(); !errors.Is(err, ErrFreed) {
+		t.Errorf("launch after free: %v", err)
+	}
+	if err := set.PushXfer(ToDPU, 0, 8); !errors.Is(err, ErrFreed) {
+		t.Errorf("push after free: %v", err)
+	}
+}
+
+func TestParallelRanksOverlapInVirtualTime(t *testing.T) {
+	d0, d1 := newFakeDevice(2), newFakeDevice(2)
+	tl := simtime.New()
+	set, err := NewSet([]Device{d0, d1}, 4, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 4; d++ {
+		if err := set.PrepareXfer(d, buf(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.PushXfer(ToDPU, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Each fake write advances 1ms; two ranks in parallel -> 1ms total.
+	if tl.Now() != time.Millisecond {
+		t.Errorf("parallel rank push took %v, want 1ms", tl.Now())
+	}
+}
+
+func TestPhase(t *testing.T) {
+	tr := simtime.NewTracker()
+	tl := simtime.New()
+	tl.Attach(tr)
+	err := Phase(tl, "phase:X", func() error {
+		tl.Advance(5 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Get("phase:X") != 5*time.Millisecond {
+		t.Errorf("phase time = %v", tr.Get("phase:X"))
+	}
+	wantErr := errors.New("boom")
+	if err := Phase(tl, "phase:Y", func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("Phase must propagate errors: %v", err)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if ToDPU.String() != "to-dpu" || FromDPU.String() != "from-dpu" {
+		t.Error("direction names")
+	}
+	if Direction(0).String() != "unknown" {
+		t.Error("zero direction")
+	}
+}
+
+func (f *fakeDevice) LaunchStart(dpus []int, tl *simtime.Timeline) (simtime.Duration, error) {
+	f.launches = append(f.launches, dpus)
+	return tl.Now() + 5*time.Millisecond, nil
+}
+
+// TestAsyncLaunchOverlap: host work between LaunchAsync and Sync overlaps
+// DPU execution in virtual time.
+func TestAsyncLaunchOverlap(t *testing.T) {
+	d0 := newFakeDevice(2)
+	tl := simtime.New()
+	set, err := NewSet([]Device{d0}, 2, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.LaunchAsync(); err != nil {
+		t.Fatal(err)
+	}
+	// 3ms of host work overlaps the 5ms launch.
+	tl.Advance(3 * time.Millisecond)
+	if err := set.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Now() != 5*time.Millisecond {
+		t.Errorf("async total = %v, want 5ms (overlapped)", tl.Now())
+	}
+	// Host work longer than the launch: Sync is free.
+	if err := set.LaunchAsync(); err != nil {
+		t.Fatal(err)
+	}
+	tl.Advance(20 * time.Millisecond)
+	before := tl.Now()
+	if err := set.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Now() != before {
+		t.Errorf("sync after slower host work advanced time by %v", tl.Now()-before)
+	}
+}

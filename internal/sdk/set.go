@@ -1,0 +1,303 @@
+package sdk
+
+import (
+	"fmt"
+
+	"repro/internal/hostmem"
+	"repro/internal/simtime"
+)
+
+// Set is a dpu_set_t: the DPUs an application allocated, possibly spanning
+// multiple ranks. Transfers prepared per DPU are pushed rank by rank; ranks
+// proceed in parallel in virtual time (the SDK's transfer threads natively,
+// the parallel operation handling under vPIM).
+type Set struct {
+	devs  []Device
+	tl    *simtime.Timeline
+	total int
+	freed bool
+
+	// prepared holds the buffer staged for each global DPU index by
+	// PrepareXfer, consumed by the next PushXfer (dpu_prepare_xfer /
+	// dpu_push_xfer semantics).
+	prepared []hostmem.Buffer
+	hasPrep  []bool
+
+	// asyncDone is the completion instant of an in-flight asynchronous
+	// launch (see LaunchAsync/Sync).
+	asyncDone simtime.Duration
+}
+
+// NewSet assembles a set over the given devices exposing nrDPUs DPUs. It is
+// called by environment implementations, not applications.
+func NewSet(devs []Device, nrDPUs int, tl *simtime.Timeline) (*Set, error) {
+	capacity := 0
+	for _, d := range devs {
+		capacity += d.NumDPUs()
+	}
+	if capacity < nrDPUs {
+		return nil, fmt.Errorf("%w: want %d, ranks provide %d", ErrNotEnoughDPUs, nrDPUs, capacity)
+	}
+	return &Set{
+		devs:     devs,
+		tl:       tl,
+		total:    nrDPUs,
+		prepared: make([]hostmem.Buffer, nrDPUs),
+		hasPrep:  make([]bool, nrDPUs),
+	}, nil
+}
+
+// NumDPUs reports the DPU count of the set (NR_DPUS).
+func (s *Set) NumDPUs() int { return s.total }
+
+// NumRanks reports how many ranks back the set.
+func (s *Set) NumRanks() int { return len(s.devs) }
+
+// Devices returns the backing rank devices in order.
+func (s *Set) Devices() []Device {
+	out := make([]Device, len(s.devs))
+	copy(out, s.devs)
+	return out
+}
+
+// locate maps a global DPU index to (device index, rank-local DPU index).
+func (s *Set) locate(dpu int) (int, int, error) {
+	if dpu < 0 || dpu >= s.total {
+		return 0, 0, fmt.Errorf("sdk: DPU %d outside set of %d", dpu, s.total)
+	}
+	rest := dpu
+	for di, d := range s.devs {
+		if rest < d.NumDPUs() {
+			return di, rest, nil
+		}
+		rest -= d.NumDPUs()
+	}
+	return 0, 0, fmt.Errorf("sdk: DPU %d not covered by devices", dpu)
+}
+
+// rankSpan reports the global DPU index range [lo, hi) of device di that is
+// part of the set.
+func (s *Set) rankSpan(di int) (int, int) {
+	lo := 0
+	for i := 0; i < di; i++ {
+		lo += s.devs[i].NumDPUs()
+	}
+	hi := lo + s.devs[di].NumDPUs()
+	if hi > s.total {
+		hi = s.total
+	}
+	return lo, hi
+}
+
+// Load loads the named DPU binary on every DPU of the set (dpu_load).
+func (s *Set) Load(binary string) error {
+	if s.freed {
+		return ErrFreed
+	}
+	var firstErr error
+	s.tl.ParN(len(s.devs), func(di int, tl *simtime.Timeline) {
+		if err := s.devs[di].LoadProgram(binary, tl); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("load rank %d: %w", di, err)
+		}
+	})
+	return firstErr
+}
+
+// PrepareXfer stages buf as DPU dpu's slice of the next push transfer
+// (dpu_prepare_xfer).
+func (s *Set) PrepareXfer(dpu int, buf hostmem.Buffer) error {
+	if s.freed {
+		return ErrFreed
+	}
+	if dpu < 0 || dpu >= s.total {
+		return fmt.Errorf("sdk: DPU %d outside set of %d", dpu, s.total)
+	}
+	s.prepared[dpu] = buf
+	s.hasPrep[dpu] = true
+	return nil
+}
+
+// PushXfer executes the staged transfer (dpu_push_xfer): length bytes per
+// DPU at MRAM heap offset off, in the given direction. Every staged DPU must
+// have a buffer of at least length bytes. Ranks transfer in parallel.
+func (s *Set) PushXfer(dir Direction, off int64, length int) error {
+	if s.freed {
+		return ErrFreed
+	}
+	// Partition staged buffers per rank.
+	perRank := make([][]DPUXfer, len(s.devs))
+	for di := range s.devs {
+		lo, hi := s.rankSpan(di)
+		for g := lo; g < hi; g++ {
+			if !s.hasPrep[g] {
+				continue
+			}
+			buf := s.prepared[g]
+			if len(buf.Data) < length {
+				return fmt.Errorf("%w: dpu %d has %d < %d", ErrBufferTooSmall, g, len(buf.Data), length)
+			}
+			perRank[di] = append(perRank[di], DPUXfer{DPU: g - lo, Buf: buf})
+		}
+	}
+	var firstErr error
+	s.tl.ParN(len(s.devs), func(di int, tl *simtime.Timeline) {
+		if len(perRank[di]) == 0 {
+			return
+		}
+		var err error
+		if dir == ToDPU {
+			err = s.devs[di].WriteRank(perRank[di], off, length, tl)
+		} else {
+			err = s.devs[di].ReadRank(perRank[di], off, length, tl)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("push rank %d: %w", di, err)
+		}
+	})
+	for i := range s.hasPrep {
+		s.hasPrep[i] = false
+	}
+	return firstErr
+}
+
+// CopyToMRAM writes buf into one DPU's MRAM at off: the serial per-DPU
+// transfer style (dpu_copy_to on the heap) that some PrIM applications use,
+// which the paper flags as scaling poorly with the DPU count.
+func (s *Set) CopyToMRAM(dpu int, off int64, buf hostmem.Buffer, length int) error {
+	if s.freed {
+		return ErrFreed
+	}
+	di, local, err := s.locate(dpu)
+	if err != nil {
+		return err
+	}
+	entry := []DPUXfer{{DPU: local, Buf: buf}}
+	return s.devs[di].WriteRank(entry, off, length, s.tl)
+}
+
+// CopyFromMRAM reads one DPU's MRAM at off into buf.
+func (s *Set) CopyFromMRAM(dpu int, off int64, buf hostmem.Buffer, length int) error {
+	if s.freed {
+		return ErrFreed
+	}
+	di, local, err := s.locate(dpu)
+	if err != nil {
+		return err
+	}
+	entry := []DPUXfer{{DPU: local, Buf: buf}}
+	return s.devs[di].ReadRank(entry, off, length, s.tl)
+}
+
+// CopyToSym writes a host symbol on one DPU (dpu_copy_to on a __host
+// variable).
+func (s *Set) CopyToSym(dpu int, symbol string, off int, src []byte) error {
+	if s.freed {
+		return ErrFreed
+	}
+	di, local, err := s.locate(dpu)
+	if err != nil {
+		return err
+	}
+	return s.devs[di].SymWrite(local, symbol, off, src, s.tl)
+}
+
+// CopyFromSym reads a host symbol from one DPU (dpu_copy_from).
+func (s *Set) CopyFromSym(dpu int, symbol string, off int, dst []byte) error {
+	if s.freed {
+		return ErrFreed
+	}
+	di, local, err := s.locate(dpu)
+	if err != nil {
+		return err
+	}
+	return s.devs[di].SymRead(local, symbol, off, dst, s.tl)
+}
+
+// BroadcastSym writes the same host symbol value on every DPU of the set
+// with one broadcast operation per rank (dpu_broadcast_to), the ranks
+// proceeding in parallel.
+func (s *Set) BroadcastSym(symbol string, off int, src []byte) error {
+	if s.freed {
+		return ErrFreed
+	}
+	var firstErr error
+	s.tl.ParN(len(s.devs), func(di int, tl *simtime.Timeline) {
+		if err := s.devs[di].SymBroadcast(symbol, off, src, tl); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("broadcast rank %d: %w", di, err)
+		}
+	})
+	return firstErr
+}
+
+// Launch synchronously runs the loaded program on every DPU of the set
+// (dpu_launch with DPU_SYNCHRONOUS). Ranks execute in parallel.
+func (s *Set) Launch() error {
+	if s.freed {
+		return ErrFreed
+	}
+	var firstErr error
+	s.tl.ParN(len(s.devs), func(di int, tl *simtime.Timeline) {
+		lo, hi := s.rankSpan(di)
+		dpus := make([]int, 0, hi-lo)
+		for g := lo; g < hi; g++ {
+			dpus = append(dpus, g-lo)
+		}
+		if err := s.devs[di].Launch(dpus, tl); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("launch rank %d: %w", di, err)
+		}
+	})
+	return firstErr
+}
+
+// LaunchAsync starts the loaded program on every DPU without waiting
+// (dpu_launch with DPU_ASYNCHRONOUS). Overlap host work, then call Sync.
+func (s *Set) LaunchAsync() error {
+	if s.freed {
+		return ErrFreed
+	}
+	var firstErr error
+	s.tl.ParN(len(s.devs), func(di int, tl *simtime.Timeline) {
+		lo, hi := s.rankSpan(di)
+		dpus := make([]int, 0, hi-lo)
+		for g := lo; g < hi; g++ {
+			dpus = append(dpus, g-lo)
+		}
+		completion, err := s.devs[di].LaunchStart(dpus, tl)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("launch rank %d: %w", di, err)
+			}
+			return
+		}
+		if completion > s.asyncDone {
+			s.asyncDone = completion
+		}
+	})
+	return firstErr
+}
+
+// Sync waits for an asynchronous launch to finish (dpu_sync). A no-op when
+// nothing is in flight or the host work already outlasted the DPUs.
+func (s *Set) Sync() error {
+	if s.freed {
+		return ErrFreed
+	}
+	s.tl.AdvanceTo(s.asyncDone)
+	s.asyncDone = 0
+	return nil
+}
+
+// Free releases the set's ranks (dpu_free).
+func (s *Set) Free() error {
+	if s.freed {
+		return ErrFreed
+	}
+	s.freed = true
+	var firstErr error
+	for di, d := range s.devs {
+		if err := d.Release(s.tl); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("release rank %d: %w", di, err)
+		}
+	}
+	return firstErr
+}

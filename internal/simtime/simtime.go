@@ -1,0 +1,240 @@
+// Package simtime provides the deterministic virtual clock that every vPIM
+// component charges work against.
+//
+// The reproduction measures *virtual* time, not wall time: each operation in
+// the stack (a VMEXIT, a page translation, a DPU cycle, a memcpy) advances a
+// Timeline by a model-defined amount. Virtual time makes every figure in the
+// paper reproducible bit-for-bit on any host, regardless of host CPU count or
+// load, while the functional path (bytes through virtqueues into MRAM) stays
+// real.
+//
+// A Timeline is a single logical thread of execution. Parallel sections are
+// expressed with Par: each branch runs on a child timeline that starts at the
+// parent's current instant, and the parent resumes at the latest child finish
+// time, which is how the backend's 8 operation threads, the translation
+// workers and the multi-rank parallel handler are modeled.
+package simtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Duration is the virtual time unit; an alias of time.Duration so model
+// constants compose with the standard library.
+type Duration = time.Duration
+
+// Timeline is one logical thread of virtual time. The zero value is ready to
+// use and starts at instant zero.
+//
+// A Timeline is not safe for concurrent use; parallel work must go through
+// Par, which gives every branch its own child Timeline.
+type Timeline struct {
+	now     time.Duration
+	tracker *Tracker
+}
+
+// New returns a Timeline starting at instant zero.
+func New() *Timeline {
+	return &Timeline{}
+}
+
+// Now reports the current virtual instant.
+func (t *Timeline) Now() time.Duration {
+	return t.now
+}
+
+// Advance moves the timeline forward by d. Negative durations are ignored so
+// cost formulas never move time backwards.
+func (t *Timeline) Advance(d time.Duration) {
+	if d > 0 {
+		t.now += d
+	}
+}
+
+// AdvanceTo moves the timeline forward to instant ts if ts is in the future.
+func (t *Timeline) AdvanceTo(ts time.Duration) {
+	if ts > t.now {
+		t.now = ts
+	}
+}
+
+// Attach associates a Tracker that Span will record into. Child timelines
+// created by Par inherit the tracker.
+func (t *Timeline) Attach(tr *Tracker) {
+	t.tracker = tr
+}
+
+// Tracker returns the attached tracker, or nil.
+func (t *Timeline) Tracker() *Tracker {
+	return t.tracker
+}
+
+// Span advances the timeline by running fn on it and records the elapsed
+// virtual time under category into the attached Tracker (if any).
+func (t *Timeline) Span(category string, fn func(tl *Timeline)) {
+	start := t.now
+	fn(t)
+	if t.tracker != nil {
+		t.tracker.Add(category, t.now-start)
+	}
+}
+
+// Charge advances the timeline by d and records it under category.
+func (t *Timeline) Charge(category string, d time.Duration) {
+	t.Advance(d)
+	if t.tracker != nil {
+		t.tracker.Add(category, d)
+	}
+}
+
+// Par runs every branch on a child timeline starting at the current instant
+// and then advances the parent to the maximum child finish time. Branches
+// execute sequentially in real execution (determinism on any host) but
+// overlap in virtual time.
+func (t *Timeline) Par(branches ...func(tl *Timeline)) {
+	end := t.now
+	for _, branch := range branches {
+		child := &Timeline{now: t.now, tracker: t.tracker}
+		branch(child)
+		if child.now > end {
+			end = child.now
+		}
+	}
+	t.now = end
+}
+
+// ParN runs fn for i in [0, n) as parallel branches. It is a convenience
+// wrapper over Par for homogeneous fan-out.
+func (t *Timeline) ParN(n int, fn func(i int, tl *Timeline)) {
+	if n <= 0 {
+		return
+	}
+	branches := make([]func(tl *Timeline), n)
+	for i := 0; i < n; i++ {
+		i := i
+		branches[i] = func(tl *Timeline) { fn(i, tl) }
+	}
+	t.Par(branches...)
+}
+
+// ParNDur is ParN returning each branch's elapsed virtual time — used by
+// the evaluation harness to plot per-branch latencies (e.g. per-rank virtio
+// request times in Fig. 16).
+func (t *Timeline) ParNDur(n int, fn func(i int, tl *Timeline)) []time.Duration {
+	durs := make([]time.Duration, n)
+	t.ParN(n, func(i int, tl *Timeline) {
+		start := tl.Now()
+		fn(i, tl)
+		durs[i] = tl.Now() - start
+	})
+	return durs
+}
+
+// Workers models a pool of `workers` identical workers processing n
+// independent items, each costing per-item duration cost. The pool finishes
+// after ceil(n/workers) rounds; the timeline advances by that amount. It
+// matches how the backend schedules DPU operations 8-at-a-time.
+func (t *Timeline) Workers(n, workers int, cost time.Duration) {
+	if n <= 0 || cost <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rounds := (n + workers - 1) / workers
+	t.Advance(time.Duration(rounds) * cost)
+}
+
+// Tracker accumulates virtual time per category. It is safe for concurrent
+// use so parallel functional code (e.g. DPU tasklets) may record into one.
+type Tracker struct {
+	mu   sync.Mutex
+	cats map[string]time.Duration
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{cats: make(map[string]time.Duration)}
+}
+
+// Add accumulates d under category.
+func (tr *Tracker) Add(category string, d time.Duration) {
+	if tr == nil || d <= 0 {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.cats == nil {
+		tr.cats = make(map[string]time.Duration)
+	}
+	tr.cats[category] += d
+}
+
+// Get reports the accumulated time for category.
+func (tr *Tracker) Get(category string) time.Duration {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.cats[category]
+}
+
+// Total reports the sum over all categories.
+func (tr *Tracker) Total() time.Duration {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	var sum time.Duration
+	for _, d := range tr.cats {
+		sum += d
+	}
+	return sum
+}
+
+// Snapshot returns a copy of all categories.
+func (tr *Tracker) Snapshot() map[string]time.Duration {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make(map[string]time.Duration, len(tr.cats))
+	for k, v := range tr.cats {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears all categories.
+func (tr *Tracker) Reset() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.cats = make(map[string]time.Duration)
+}
+
+// String renders categories sorted by name, for logs and golden tests.
+func (tr *Tracker) String() string {
+	snap := tr.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%v", k, snap[k])
+	}
+	return out
+}

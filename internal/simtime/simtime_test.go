@@ -1,0 +1,202 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAdvance(t *testing.T) {
+	tl := New()
+	tl.Advance(5 * time.Millisecond)
+	tl.Advance(3 * time.Millisecond)
+	if got := tl.Now(); got != 8*time.Millisecond {
+		t.Errorf("Now() = %v, want 8ms", got)
+	}
+}
+
+func TestAdvanceNegativeIgnored(t *testing.T) {
+	tl := New()
+	tl.Advance(time.Millisecond)
+	tl.Advance(-time.Second)
+	if got := tl.Now(); got != time.Millisecond {
+		t.Errorf("Now() = %v, want 1ms", got)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	tl := New()
+	tl.AdvanceTo(10 * time.Millisecond)
+	if tl.Now() != 10*time.Millisecond {
+		t.Errorf("AdvanceTo forward failed: %v", tl.Now())
+	}
+	tl.AdvanceTo(5 * time.Millisecond)
+	if tl.Now() != 10*time.Millisecond {
+		t.Errorf("AdvanceTo must not move backwards: %v", tl.Now())
+	}
+}
+
+func TestParTakesMax(t *testing.T) {
+	tl := New()
+	tl.Advance(time.Millisecond)
+	tl.Par(
+		func(tl *Timeline) { tl.Advance(3 * time.Millisecond) },
+		func(tl *Timeline) { tl.Advance(7 * time.Millisecond) },
+		func(tl *Timeline) { tl.Advance(2 * time.Millisecond) },
+	)
+	if got := tl.Now(); got != 8*time.Millisecond {
+		t.Errorf("Par end = %v, want 8ms", got)
+	}
+}
+
+func TestParEmptyBranchKeepsTime(t *testing.T) {
+	tl := New()
+	tl.Advance(4 * time.Millisecond)
+	tl.Par(func(tl *Timeline) {})
+	if got := tl.Now(); got != 4*time.Millisecond {
+		t.Errorf("Par with idle branch moved time: %v", got)
+	}
+}
+
+// Property: Par over any set of positive advances ends at start + max.
+func TestParMaxProperty(t *testing.T) {
+	f := func(advancesMs []uint16) bool {
+		tl := New()
+		var want time.Duration
+		branches := make([]func(*Timeline), len(advancesMs))
+		for i, a := range advancesMs {
+			d := time.Duration(a) * time.Microsecond
+			if d > want {
+				want = d
+			}
+			branches[i] = func(tl *Timeline) { tl.Advance(d) }
+		}
+		tl.Par(branches...)
+		return tl.Now() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParNDur(t *testing.T) {
+	tl := New()
+	durs := tl.ParNDur(3, func(i int, tl *Timeline) {
+		tl.Advance(time.Duration(i+1) * time.Millisecond)
+	})
+	for i, d := range durs {
+		if d != time.Duration(i+1)*time.Millisecond {
+			t.Errorf("branch %d duration = %v", i, d)
+		}
+	}
+	if tl.Now() != 3*time.Millisecond {
+		t.Errorf("parent = %v, want 3ms", tl.Now())
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	tests := []struct {
+		n, workers int
+		cost       time.Duration
+		want       time.Duration
+	}{
+		{n: 8, workers: 8, cost: time.Millisecond, want: time.Millisecond},
+		{n: 9, workers: 8, cost: time.Millisecond, want: 2 * time.Millisecond},
+		{n: 60, workers: 8, cost: time.Millisecond, want: 8 * time.Millisecond},
+		{n: 0, workers: 8, cost: time.Millisecond, want: 0},
+		{n: 5, workers: 0, cost: time.Millisecond, want: 5 * time.Millisecond},
+	}
+	for _, tc := range tests {
+		tl := New()
+		tl.Workers(tc.n, tc.workers, tc.cost)
+		if tl.Now() != tc.want {
+			t.Errorf("Workers(%d,%d,%v) = %v, want %v", tc.n, tc.workers, tc.cost, tl.Now(), tc.want)
+		}
+	}
+}
+
+func TestSpanRecordsToTracker(t *testing.T) {
+	tr := NewTracker()
+	tl := New()
+	tl.Attach(tr)
+	tl.Span("phase:a", func(tl *Timeline) {
+		tl.Advance(2 * time.Millisecond)
+		tl.Charge("op:x", time.Millisecond)
+	})
+	if got := tr.Get("phase:a"); got != 3*time.Millisecond {
+		t.Errorf("phase:a = %v, want 3ms (span covers inner charge)", got)
+	}
+	if got := tr.Get("op:x"); got != time.Millisecond {
+		t.Errorf("op:x = %v, want 1ms", got)
+	}
+}
+
+func TestParInheritsTracker(t *testing.T) {
+	tr := NewTracker()
+	tl := New()
+	tl.Attach(tr)
+	tl.Par(func(tl *Timeline) { tl.Charge("c", time.Millisecond) })
+	if got := tr.Get("c"); got != time.Millisecond {
+		t.Errorf("child charge lost: %v", got)
+	}
+}
+
+func TestTrackerConcurrent(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Add("k", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Get("k"); got != 1600*time.Microsecond {
+		t.Errorf("concurrent adds = %v, want 1.6ms", got)
+	}
+}
+
+func TestTrackerSnapshotIsCopy(t *testing.T) {
+	tr := NewTracker()
+	tr.Add("a", time.Second)
+	snap := tr.Snapshot()
+	snap["a"] = 0
+	if tr.Get("a") != time.Second {
+		t.Error("snapshot mutation leaked into tracker")
+	}
+}
+
+func TestTrackerTotalAndReset(t *testing.T) {
+	tr := NewTracker()
+	tr.Add("a", time.Second)
+	tr.Add("b", 2*time.Second)
+	if tr.Total() != 3*time.Second {
+		t.Errorf("Total = %v", tr.Total())
+	}
+	tr.Reset()
+	if tr.Total() != 0 {
+		t.Errorf("Total after reset = %v", tr.Total())
+	}
+}
+
+func TestTrackerString(t *testing.T) {
+	tr := NewTracker()
+	tr.Add("b", time.Second)
+	tr.Add("a", time.Millisecond)
+	if got, want := tr.String(), "a=1ms b=1s"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestNilTrackerSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Add("x", time.Second) // must not panic
+	if tr.Get("x") != 0 || tr.Total() != 0 {
+		t.Error("nil tracker should report zero")
+	}
+	tr.Reset()
+}

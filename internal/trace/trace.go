@@ -1,0 +1,51 @@
+// Package trace defines the breakdown categories used across the stack.
+//
+// The paper uses two breakdowns. The application-centric one (Fig. 8) splits
+// execution into CPU-DPU / DPU / Inter-DPU / DPU-CPU segments; applications
+// declare the current segment and all virtual time spent inside falls into
+// it. The driver-centric one (Fig. 12) attributes guest-driver + VMM time to
+// CI, read-from-rank and write-to-rank operations, with write-to-rank
+// further split into steps (Fig. 13): page management, serialization, virtio
+// interrupt handling, deserialization (incl. GPA->HVA translation) and data
+// transfer.
+//
+// Categories are namespaced strings in a single simtime.Tracker, so one
+// virtual nanosecond may legitimately appear under a phase, an operation and
+// a step at the same time.
+package trace
+
+// Application-centric phases (Fig. 8 legend).
+const (
+	PhaseCPUDPU   = "phase:CPU-DPU"
+	PhaseDPU      = "phase:DPU"
+	PhaseInterDPU = "phase:Inter-DPU"
+	PhaseDPUCPU   = "phase:DPU-CPU"
+)
+
+// Phases lists the application phases in the order the paper plots them.
+var Phases = []string{PhaseCPUDPU, PhaseDPU, PhaseInterDPU, PhaseDPUCPU}
+
+// Driver-centric operations (Fig. 12).
+const (
+	OpCI        = "op:CI"
+	OpReadRank  = "op:R-rank"
+	OpWriteRank = "op:W-rank"
+)
+
+// Ops lists the driver-centric operations in plot order.
+var Ops = []string{OpCI, OpReadRank, OpWriteRank}
+
+// OpAlloc records manager round trips (rank allocation latency, §4.2).
+const OpAlloc = "op:alloc"
+
+// Write-to-rank steps (Fig. 13).
+const (
+	StepPage  = "step:Page"
+	StepSer   = "step:Ser"
+	StepInt   = "step:Int"
+	StepDeser = "step:Deser"
+	StepTData = "step:T-data"
+)
+
+// Steps lists the write-to-rank steps in plot order.
+var Steps = []string{StepPage, StepDeser, StepInt, StepSer, StepTData}

@@ -1,0 +1,33 @@
+package trace
+
+import "testing"
+
+func TestCategoryNamespaces(t *testing.T) {
+	for _, ph := range Phases {
+		if ph[:6] != "phase:" {
+			t.Errorf("phase %q not namespaced", ph)
+		}
+	}
+	for _, op := range Ops {
+		if op[:3] != "op:" {
+			t.Errorf("op %q not namespaced", op)
+		}
+	}
+	for _, st := range Steps {
+		if st[:5] != "step:" {
+			t.Errorf("step %q not namespaced", st)
+		}
+	}
+}
+
+func TestPlotOrders(t *testing.T) {
+	if len(Phases) != 4 {
+		t.Error("the paper plots four application segments")
+	}
+	if Phases[0] != PhaseCPUDPU || Phases[3] != PhaseDPUCPU {
+		t.Error("phase order differs from the paper's legend")
+	}
+	if len(Steps) != 5 {
+		t.Error("the paper's Fig. 13 has five steps")
+	}
+}

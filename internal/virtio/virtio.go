@@ -1,0 +1,181 @@
+// Package virtio implements the virtio-pim device specification the paper
+// introduces (Appendix A.1): device ID 42, two virtqueues (transferq with
+// 512 descriptor slots for data and commands, controlq for manager
+// synchronization), a device configuration layout, and the request wire
+// format carried through guest memory.
+//
+// The five device operations of the specification — requesting
+// configuration, sending commands, reading commands, writing to the PIM
+// device and reading from the PIM device — map onto the Op codes below;
+// command sub-kinds (CI access, program load, launch, host-symbol access)
+// are SendCommand/ReadCommand variants and are given distinct codes so the
+// backend can dispatch without re-parsing payloads.
+package virtio
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/simtime"
+)
+
+// DeviceID is the virtio device ID assigned to PIM devices by the spec.
+const DeviceID = 42
+
+// TransferQueueSize is the descriptor capacity of transferq. The serialized
+// transfer matrix uses at most 130 buffers, fitting comfortably.
+const TransferQueueSize = 512
+
+// MaxMatrixBuffers is the ceiling on buffers used by a serialized matrix:
+// one request-info buffer, one matrix-metadata buffer and a metadata + page
+// buffer pair per DPU (Fig. 7).
+const MaxMatrixBuffers = 130
+
+// Op enumerates virtio-pim request types.
+type Op uint32
+
+const (
+	// OpConfig requests device configuration (frequency, DPU count, MRAM
+	// size); used once during device initialization.
+	OpConfig Op = iota + 1
+	// OpCI sends a raw control-interface command to the rank.
+	OpCI
+	// OpLoadProgram loads a named DPU binary on all DPUs of the rank.
+	OpLoadProgram
+	// OpLaunch starts the loaded program on the listed DPUs and completes
+	// when the program finishes (DPU_SYNCHRONOUS).
+	OpLaunch
+	// OpWriteRank transfers a serialized matrix from guest pages to MRAM.
+	OpWriteRank
+	// OpReadRank transfers from MRAM into guest pages.
+	OpReadRank
+	// OpSymWrite writes a host symbol (__host variable) on one DPU.
+	OpSymWrite
+	// OpSymRead reads a host symbol from one DPU.
+	OpSymRead
+	// OpRelease detaches the physical rank from the vUPMEM device.
+	OpRelease
+	// OpAttach asks the backend to attach a physical rank (through the
+	// manager) if none is attached.
+	OpAttach
+)
+
+// String implements fmt.Stringer for logs and traces.
+func (o Op) String() string {
+	switch o {
+	case OpConfig:
+		return "config"
+	case OpCI:
+		return "ci"
+	case OpLoadProgram:
+		return "load"
+	case OpLaunch:
+		return "launch"
+	case OpWriteRank:
+		return "write-rank"
+	case OpReadRank:
+		return "read-rank"
+	case OpSymWrite:
+		return "sym-write"
+	case OpSymRead:
+		return "sym-read"
+	case OpRelease:
+		return "release"
+	case OpAttach:
+		return "attach"
+	default:
+		return fmt.Sprintf("op(%d)", uint32(o))
+	}
+}
+
+// Status codes written by the device into the chain's status descriptor.
+const (
+	StatusOK    uint32 = 0
+	StatusError uint32 = 1
+)
+
+// Errors reported by the queue machinery.
+var (
+	ErrChainTooLong = errors.New("virtio: descriptor chain exceeds queue size")
+	ErrNoHandler    = errors.New("virtio: queue has no device handler")
+	ErrDeviceFailed = errors.New("virtio: device reported failure")
+)
+
+// Desc points at one guest buffer. Writable marks device-writable
+// descriptors (responses, read targets).
+type Desc struct {
+	GPA      uint64
+	Len      uint32
+	Writable bool
+}
+
+// Chain is a descriptor chain: one request. By convention desc[0] is the
+// request header, the middle descriptors carry the serialized matrix or
+// inline payloads, and the final descriptor is the device-writable status +
+// response buffer.
+type Chain struct {
+	Descs []Desc
+}
+
+// Handler processes one request chain on the device side, advancing the
+// given timeline by the virtual cost of the work.
+type Handler func(chain *Chain, tl *simtime.Timeline) error
+
+// Queue is one virtqueue of a virtio-pim device.
+type Queue struct {
+	name      string
+	size      int
+	handler   Handler
+	submitted atomic.Int64
+}
+
+// NewQueue creates a queue with the given descriptor capacity.
+func NewQueue(name string, size int) *Queue {
+	return &Queue{name: name, size: size}
+}
+
+// Name reports the queue name ("transferq" or "controlq").
+func (q *Queue) Name() string { return q.name }
+
+// Size reports the descriptor capacity.
+func (q *Queue) Size() int { return q.size }
+
+// SetHandler installs the device-side processing function; the VMM wires
+// this during device realization.
+func (q *Queue) SetHandler(h Handler) { q.handler = h }
+
+// Submitted reports how many chains have been pushed so far: the number of
+// guest->VMM messages, the quantity the paper identifies as the dominant
+// overhead source.
+func (q *Queue) Submitted() int64 { return q.submitted.Load() }
+
+// Submit validates and delivers one chain to the device handler. The caller
+// (the frontend, through the kvm transition layer) has already charged the
+// trap cost; the handler charges device-side work.
+func (q *Queue) Submit(chain *Chain, tl *simtime.Timeline) error {
+	if len(chain.Descs) > q.size {
+		return fmt.Errorf("%w: %d > %d", ErrChainTooLong, len(chain.Descs), q.size)
+	}
+	if q.handler == nil {
+		return ErrNoHandler
+	}
+	q.submitted.Add(1)
+	return q.handler(chain, tl)
+}
+
+// DeviceConfig is the virtio-pim configuration space: what the frontend
+// reads during initialization and exposes to the guest userspace so the SDK
+// configures itself identically to a native environment.
+type DeviceConfig struct {
+	// NumDPUs is the number of functional DPUs in the attached rank.
+	NumDPUs uint32
+	// FrequencyMHz is the DPU clock.
+	FrequencyMHz uint32
+	// MRAMBytes is the per-DPU memory bank size.
+	MRAMBytes uint64
+	// ClockDivision is the CI clock divider (informational).
+	ClockDivision uint32
+	// NumCIs is the number of control interfaces (8 chips per rank).
+	NumCIs uint32
+}

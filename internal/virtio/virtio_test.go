@@ -1,0 +1,185 @@
+package virtio
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simtime"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := Request{
+		Op:      OpWriteRank,
+		DPU:     7,
+		DPUMask: 0xDEADBEEF,
+		Offset:  1 << 40,
+		Length:  4096,
+		Symbol:  "prim/va",
+	}
+	buf := make([]byte, req.EncodedSize())
+	n, err := req.Encode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != req.EncodedSize() {
+		t.Errorf("Encode wrote %d, want %d", n, req.EncodedSize())
+	}
+	got, err := DecodeRequest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, req) {
+		t.Errorf("round trip: got %+v, want %+v", got, req)
+	}
+}
+
+// Property: every encodable request decodes to itself.
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(op uint8, dpu uint32, mask, off, length uint64, symbol string) bool {
+		if len(symbol) > 128 {
+			symbol = symbol[:128]
+		}
+		req := Request{
+			Op: Op(op), DPU: dpu, DPUMask: mask, Offset: off, Length: length,
+			Symbol: symbol,
+		}
+		buf := make([]byte, req.EncodedSize())
+		if _, err := req.Encode(buf); err != nil {
+			return false
+		}
+		got, err := DecodeRequest(buf)
+		return err == nil && got == req
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeBufferTooSmall(t *testing.T) {
+	req := Request{Op: OpCI, Symbol: "x"}
+	if _, err := req.Encode(make([]byte, 4)); err == nil {
+		t.Error("want error for short buffer")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	if _, err := DecodeRequest(make([]byte, 8)); err == nil {
+		t.Error("want error for truncated header")
+	}
+	// Symbol length overruns the buffer.
+	req := Request{Op: OpCI, Symbol: "abcdef"}
+	buf := make([]byte, req.EncodedSize())
+	if _, err := req.Encode(buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeRequest(buf[:len(buf)-2]); err == nil {
+		t.Error("want error for symbol overrun")
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	cfg := DeviceConfig{
+		NumDPUs:       60,
+		FrequencyMHz:  350,
+		MRAMBytes:     64 << 20,
+		ClockDivision: 2,
+		NumCIs:        8,
+	}
+	buf := make([]byte, ConfigResponseSize)
+	if err := EncodeConfig(cfg, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeConfig(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Errorf("round trip: got %+v, want %+v", got, cfg)
+	}
+	if err := EncodeConfig(cfg, make([]byte, 4)); err == nil {
+		t.Error("want error for short config buffer")
+	}
+	if _, err := DecodeConfig(make([]byte, 4)); err == nil {
+		t.Error("want error for truncated config")
+	}
+}
+
+func TestU64Helpers(t *testing.T) {
+	buf := make([]byte, 24)
+	if err := PutU64s(buf, []uint64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{1, 2, 3} {
+		got, err := GetU64(buf, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("GetU64(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if err := PutU64s(buf, make([]uint64, 4)); err == nil {
+		t.Error("want error for short u64 buffer")
+	}
+	if _, err := GetU64(buf, 3); err == nil {
+		t.Error("want error for out-of-range index")
+	}
+}
+
+func TestQueueSubmit(t *testing.T) {
+	q := NewQueue("transferq", 4)
+	if q.Name() != "transferq" || q.Size() != 4 {
+		t.Error("queue metadata wrong")
+	}
+	chain := &Chain{Descs: make([]Desc, 2)}
+	if err := q.Submit(chain, simtime.New()); !errors.Is(err, ErrNoHandler) {
+		t.Errorf("want ErrNoHandler, got %v", err)
+	}
+	handled := 0
+	q.SetHandler(func(c *Chain, tl *simtime.Timeline) error {
+		handled++
+		return nil
+	})
+	if err := q.Submit(chain, simtime.New()); err != nil {
+		t.Fatal(err)
+	}
+	if handled != 1 || q.Submitted() != 1 {
+		t.Errorf("handled=%d submitted=%d", handled, q.Submitted())
+	}
+	long := &Chain{Descs: make([]Desc, 5)}
+	if err := q.Submit(long, simtime.New()); !errors.Is(err, ErrChainTooLong) {
+		t.Errorf("want ErrChainTooLong, got %v", err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{
+		OpConfig: "config", OpCI: "ci", OpLoadProgram: "load", OpLaunch: "launch",
+		OpWriteRank: "write-rank", OpReadRank: "read-rank", OpSymWrite: "sym-write",
+		OpSymRead: "sym-read", OpRelease: "release", OpAttach: "attach",
+	}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if Op(99).String() != "op(99)" {
+		t.Error("unknown op format wrong")
+	}
+}
+
+func TestSpecConstants(t *testing.T) {
+	if DeviceID != 42 {
+		t.Error("the spec assigns virtio device ID 42")
+	}
+	if TransferQueueSize != 512 {
+		t.Error("transferq has 512 slots per the spec")
+	}
+	// A full 64-DPU matrix must fit: 1 header + 1 matrix meta + 64*2 + 1
+	// status = 131 <= MaxMatrixBuffers + header + status budget.
+	if MaxMatrixBuffers < 130 {
+		t.Error("matrix buffer ceiling below the spec's 130")
+	}
+}

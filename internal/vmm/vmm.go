@@ -1,0 +1,265 @@
+// Package vmm models the Firecracker virtual machine monitor hosting vPIM:
+// VM configuration and boot, vUPMEM device realization (frontend + backend
+// wired through transferq/controlq), and the guest execution environment
+// applications run in.
+package vmm
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/cost"
+	"repro/internal/driver"
+	"repro/internal/hostmem"
+	"repro/internal/kvm"
+	"repro/internal/manager"
+	"repro/internal/pim"
+	"repro/internal/sdk"
+	"repro/internal/simtime"
+	"repro/internal/virtio"
+)
+
+// Options selects the vPIM implementation variant (Table 2). The zero value
+// is the naive baseline; Full() is the shipping configuration.
+type Options struct {
+	// Engine selects the backend copy path (EngineRust = vPIM-rust,
+	// EngineC = the C/AVX512 enhancement). Zero selects EngineC.
+	Engine cost.Engine
+	// Prefetch enables the frontend prefetch cache (+P).
+	Prefetch bool
+	// Batch enables frontend request batching (+B).
+	Batch bool
+	// Parallel enables parallel operation handling on multiple ranks.
+	Parallel bool
+	// Oversubscribe lets a vUPMEM device fall back to a software-simulated
+	// rank at reduced performance when no physical rank is free — the
+	// oversubscription mechanism sketched in the paper's conclusion.
+	Oversubscribe bool
+	// VhostVsock models the vhost-based fast path the paper names as
+	// future work: requests short-circuit in the host kernel instead of
+	// round-tripping through the VMM process, shrinking transition costs.
+	VhostVsock bool
+	// Driver overrides optimization geometry (cache/batch sizes).
+	Driver driver.Options
+}
+
+// Full returns the fully-optimized vPIM configuration (the "vPIM" line of
+// every figure).
+func Full() Options {
+	return Options{Engine: cost.EngineC, Prefetch: true, Batch: true, Parallel: true}
+}
+
+// Naive returns the straightforward virtualization baseline (vPIM-rust in
+// Table 2): Rust copy path, no prefetch cache, no batching, sequential
+// event handling.
+func Naive() Options {
+	return Options{Engine: cost.EngineRust}
+}
+
+// Variant returns the Table 2 configuration by name: "vPIM-rust", "vPIM-C",
+// "vPIM+P", "vPIM+B", "vPIM+PB", "vPIM-Seq", "vPIM".
+func Variant(name string) (Options, error) {
+	switch name {
+	case "vPIM-rust":
+		return Naive(), nil
+	case "vPIM-C":
+		return Options{Engine: cost.EngineC}, nil
+	case "vPIM+P":
+		return Options{Engine: cost.EngineC, Prefetch: true}, nil
+	case "vPIM+B":
+		return Options{Engine: cost.EngineC, Batch: true}, nil
+	case "vPIM+PB", "vPIM-Seq":
+		return Options{Engine: cost.EngineC, Prefetch: true, Batch: true}, nil
+	case "vPIM":
+		return Full(), nil
+	default:
+		return Options{}, fmt.Errorf("vmm: unknown variant %q", name)
+	}
+}
+
+// Variants lists the Table 2 configurations in order.
+func Variants() []string {
+	return []string{"vPIM-rust", "vPIM-C", "vPIM+P", "vPIM+B", "vPIM+PB", "vPIM-Seq", "vPIM"}
+}
+
+// Config describes one microVM.
+type Config struct {
+	// Name identifies the VM (manager owner strings derive from it).
+	Name string
+	// VCPUs is the guest CPU count (16 in the paper's default setup).
+	VCPUs int
+	// MemBytes is the guest RAM size.
+	MemBytes int64
+	// VUPMEMs is the number of vUPMEM devices (= max ranks usable).
+	VUPMEMs int
+	// Options selects the vPIM variant.
+	Options Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "vm"
+	}
+	if c.VCPUs == 0 {
+		c.VCPUs = 16
+	}
+	if c.MemBytes == 0 {
+		c.MemBytes = 4 << 30
+	}
+	if c.VUPMEMs == 0 {
+		c.VUPMEMs = 1
+	}
+	if c.Options.Engine == 0 {
+		c.Options.Engine = cost.EngineC
+	}
+	return c
+}
+
+// VM is one booted Firecracker microVM with its vUPMEM devices. It
+// implements sdk.Env, so applications run in it exactly as they run
+// natively.
+type VM struct {
+	cfg     Config
+	mach    *pim.Machine
+	mgr     *manager.Manager
+	mem     *hostmem.Memory
+	path    *kvm.Path
+	loop    *backend.EventLoop
+	tl      *simtime.Timeline
+	tracker *simtime.Tracker
+
+	fronts []*driver.Frontend
+	backs  []*backend.Backend
+
+	bootTime simtime.Duration
+}
+
+var _ sdk.Env = (*VM)(nil)
+
+// NewVM boots a microVM on the given machine: guest RAM, the KVM transition
+// path, the event loop, and one frontend/backend pair per vUPMEM device.
+// Each vUPMEM adds its (<=2 ms) boot-time overhead (Section 3.2).
+func NewVM(mach *pim.Machine, mgr *manager.Manager, cfg Config) (*VM, error) {
+	cfg = cfg.withDefaults()
+	if cfg.VUPMEMs > mach.NumRanks() && !cfg.Options.Oversubscribe {
+		return nil, fmt.Errorf("vmm: %d vUPMEM devices exceed %d physical ranks",
+			cfg.VUPMEMs, mach.NumRanks())
+	}
+	model := mach.Model()
+	if cfg.Options.VhostVsock {
+		// vhost keeps the data path in the host kernel: no VMM userspace
+		// wakeup on either direction.
+		model.TrapToVMM /= 3
+		model.EventDispatch /= 4
+		model.IRQInject /= 3
+	}
+	tracker := simtime.NewTracker()
+	tl := simtime.New()
+	tl.Attach(tracker)
+
+	vm := &VM{
+		cfg:     cfg,
+		mach:    mach,
+		mgr:     mgr,
+		mem:     hostmem.New(cfg.MemBytes),
+		path:    kvm.NewPath(model),
+		loop:    backend.NewEventLoop(cfg.Options.Parallel, model),
+		tl:      tl,
+		tracker: tracker,
+	}
+
+	dopts := cfg.Options.Driver
+	dopts.Prefetch = cfg.Options.Prefetch
+	dopts.Batch = cfg.Options.Batch
+	for i := 0; i < cfg.VUPMEMs; i++ {
+		id := fmt.Sprintf("%s/vupmem%d", cfg.Name, i)
+		tq := virtio.NewQueue("transferq", virtio.TransferQueueSize)
+		cq := virtio.NewQueue("controlq", virtio.TransferQueueSize)
+		back := backend.New(id, mach, mgr, vm.mem, cfg.Options.Engine, vm.loop)
+		back.SetOversubscribe(cfg.Options.Oversubscribe)
+		tq.SetHandler(back.HandleTransfer)
+		cq.SetHandler(back.HandleControl)
+		front := driver.New(id, vm.mem, vm.path, tq, cq, model, dopts)
+		vm.backs = append(vm.backs, back)
+		vm.fronts = append(vm.fronts, front)
+		tl.Advance(model.BootPerDevice)
+	}
+	vm.bootTime = tl.Now()
+	return vm, nil
+}
+
+// Name reports the VM name.
+func (vm *VM) Name() string { return vm.cfg.Name }
+
+// VCPUs reports the guest CPU count.
+func (vm *VM) VCPUs() int { return vm.cfg.VCPUs }
+
+// BootTime reports the virtual boot duration including per-device overhead.
+func (vm *VM) BootTime() simtime.Duration { return vm.bootTime }
+
+// Options reports the VM's vPIM variant.
+func (vm *VM) Options() Options { return vm.cfg.Options }
+
+// Frontends exposes the vUPMEM guest drivers (for stats).
+func (vm *VM) Frontends() []*driver.Frontend {
+	out := make([]*driver.Frontend, len(vm.fronts))
+	copy(out, vm.fronts)
+	return out
+}
+
+// Backends exposes the device backends (for tests).
+func (vm *VM) Backends() []*backend.Backend {
+	out := make([]*backend.Backend, len(vm.backs))
+	copy(out, vm.backs)
+	return out
+}
+
+// KVM exposes the transition layer (for exit counting).
+func (vm *VM) KVM() *kvm.Path { return vm.path }
+
+// Memory exposes guest RAM (for tests).
+func (vm *VM) Memory() *hostmem.Memory { return vm.mem }
+
+// MigrateRank transparently consolidates one vUPMEM device onto another
+// physical rank via the manager's checkpoint/restore (a host-operator
+// action; the guest keeps using the device unchanged).
+func (vm *VM) MigrateRank(device int) error {
+	if device < 0 || device >= len(vm.backs) {
+		return fmt.Errorf("vmm: device %d out of range", device)
+	}
+	return vm.backs[device].Migrate(vm.tl)
+}
+
+// AllocSet implements sdk.Env: attach as many vUPMEM devices as needed to
+// cover nrDPUs and present them as one dpu_set (vUPMEM booking,
+// Section 3.3).
+func (vm *VM) AllocSet(nrDPUs int) (*sdk.Set, error) {
+	var devs []sdk.Device
+	covered := 0
+	for _, f := range vm.fronts {
+		if covered >= nrDPUs {
+			break
+		}
+		if err := f.Attach(vm.tl); err != nil {
+			return nil, fmt.Errorf("attach %s: %w", f.ID(), err)
+		}
+		devs = append(devs, f)
+		covered += f.NumDPUs()
+	}
+	if covered < nrDPUs {
+		return nil, fmt.Errorf("%w: want %d DPUs, vUPMEM devices provide %d",
+			sdk.ErrNotEnoughDPUs, nrDPUs, covered)
+	}
+	return sdk.NewSet(devs, nrDPUs, vm.tl)
+}
+
+// AllocBuffer implements sdk.Env: guest userspace memory.
+func (vm *VM) AllocBuffer(n int) (hostmem.Buffer, error) {
+	return vm.mem.Alloc(n)
+}
+
+// Timeline implements sdk.Env.
+func (vm *VM) Timeline() *simtime.Timeline { return vm.tl }
+
+// Tracker implements sdk.Env.
+func (vm *VM) Tracker() *simtime.Tracker { return vm.tracker }

@@ -1,0 +1,304 @@
+package vmm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/manager"
+	"repro/internal/pim"
+	"repro/internal/sdk"
+)
+
+func testStack(t *testing.T, ranks int) (*pim.Machine, *manager.Manager) {
+	t.Helper()
+	mach, err := pim.NewMachine(pim.MachineConfig{
+		Ranks: ranks,
+		Rank:  pim.RankConfig{DPUs: 4, MRAMBytes: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.Registry().MustRegister(&pim.Kernel{
+		Name: "noop", Tasklets: 2, CodeBytes: 512,
+		Symbols: []pim.Symbol{{Name: "v", Bytes: 4}},
+		Run: func(ctx *pim.Ctx) error {
+			ctx.Tick(100)
+			return nil
+		},
+	})
+	return mach, manager.New(mach, manager.Options{})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.VCPUs != 16 || cfg.VUPMEMs != 1 || cfg.Name == "" {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	if cfg.Options.Engine != cost.EngineC {
+		t.Error("default engine must be C")
+	}
+}
+
+func TestVariants(t *testing.T) {
+	for _, name := range Variants() {
+		if _, err := Variant(name); err != nil {
+			t.Errorf("Variant(%q): %v", name, err)
+		}
+	}
+	if _, err := Variant("nope"); err == nil {
+		t.Error("unknown variant must fail")
+	}
+	full := Full()
+	if !full.Prefetch || !full.Batch || !full.Parallel || full.Engine != cost.EngineC {
+		t.Errorf("Full() = %+v", full)
+	}
+	naive := Naive()
+	if naive.Prefetch || naive.Batch || naive.Parallel || naive.Engine != cost.EngineRust {
+		t.Errorf("Naive() = %+v", naive)
+	}
+}
+
+func TestBootTime(t *testing.T) {
+	mach, mgr := testStack(t, 4)
+	vm, err := NewVM(mach, mgr, Config{Name: "b", VUPMEMs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 3.2: <= 2ms per vUPMEM device.
+	if vm.BootTime() > 4*2*time.Millisecond {
+		t.Errorf("boot = %v, exceeds 2ms/device", vm.BootTime())
+	}
+	if vm.BootTime() <= 0 {
+		t.Error("boot must consume time")
+	}
+}
+
+func TestTooManyDevices(t *testing.T) {
+	mach, mgr := testStack(t, 2)
+	if _, err := NewVM(mach, mgr, Config{VUPMEMs: 3}); err == nil {
+		t.Error("more vUPMEMs than ranks must fail")
+	}
+}
+
+// TestEndToEnd drives the full virtio path: attach, config, load, write,
+// launch, symbol ops, read, release.
+func TestEndToEnd(t *testing.T) {
+	mach, mgr := testStack(t, 2)
+	vm, err := NewVM(mach, mgr, Config{Name: "e2e", VUPMEMs: 2, Options: Full()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := vm.AllocSet(8) // spans both ranks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.NumRanks() != 2 {
+		t.Fatalf("set spans %d ranks, want 2", set.NumRanks())
+	}
+	if err := set.Load("noop"); err != nil {
+		t.Fatal(err)
+	}
+
+	data := bytes.Repeat([]byte{0xAB}, 8192)
+	buf, err := vm.AllocBuffer(len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf.Data, data)
+	for d := 0; d < 8; d++ {
+		if err := set.PrepareXfer(d, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.PushXfer(sdk.ToDPU, 0, len(data)); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	// Small writes are batched and deferred; the launch flushed them, so
+	// the data must now physically be in each rank's MRAM.
+	for ri := 0; ri < 2; ri++ {
+		rank := vm.Backends()[ri].Rank()
+		if rank == nil {
+			t.Fatalf("rank %d not attached", ri)
+		}
+		got := make([]byte, len(data))
+		if err := rank.ReadDPU(2, 0, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("rank %d MRAM content mismatch", ri)
+		}
+	}
+	if err := set.BroadcastSym("v", 0, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	var sym [4]byte
+	if err := set.CopyFromSym(5, "v", 0, sym[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sym[:], []byte{1, 2, 3, 4}) {
+		t.Errorf("symbol round trip = %v", sym)
+	}
+
+	out, err := vm.AllocBuffer(len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 8; d++ {
+		if err := set.PrepareXfer(d, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.PushXfer(sdk.FromDPU, 0, len(data)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Data[:len(data)], data) {
+		t.Error("read-from-rank returned wrong data")
+	}
+
+	if err := set.Free(); err != nil {
+		t.Fatal(err)
+	}
+	for ri := 0; ri < 2; ri++ {
+		if vm.Backends()[ri].Rank() != nil {
+			t.Errorf("rank %d still attached after free", ri)
+		}
+	}
+	if vm.KVM().Exits() == 0 {
+		t.Error("the virtualized path must produce VMEXITs")
+	}
+}
+
+// TestRankReuseAfterFree checks the manager's NANA reuse through the VM
+// path: reallocating inside the same VM gets the same rank without reset.
+func TestRankReuseAfterFree(t *testing.T) {
+	mach, mgr := testStack(t, 1)
+	vm, err := NewVM(mach, mgr, Config{Name: "r", Options: Full()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := vm.AllocSet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.AllocSet(4); err != nil {
+		t.Fatalf("re-alloc: %v", err)
+	}
+	if mgr.Resets() != 0 {
+		t.Error("same-device reattach must reuse the NANA rank without reset")
+	}
+}
+
+// TestIsolationBetweenVMs checks R2: a second VM never sees the first VM's
+// rank contents.
+func TestIsolationBetweenVMs(t *testing.T) {
+	mach, mgr := testStack(t, 1)
+	vmA, err := NewVM(mach, mgr, Config{Name: "A", Options: Full()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setA, err := vmA.AllocSet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret, err := vmA.AllocBuffer(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(secret.Data, "top secret tenant data")
+	if err := setA.PrepareXfer(0, secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := setA.PushXfer(sdk.ToDPU, 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := setA.Free(); err != nil {
+		t.Fatal(err)
+	}
+
+	vmB, err := NewVM(mach, mgr, Config{Name: "B", Options: Full()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setB, err := vmB.AllocSet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := vmB.AllocBuffer(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setB.PrepareXfer(0, probe); err != nil {
+		t.Fatal(err)
+	}
+	if err := setB.PushXfer(sdk.FromDPU, 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range probe.Data {
+		if b != 0 {
+			t.Fatal("tenant B read tenant A's data: reset missing")
+		}
+	}
+	if mgr.Resets() == 0 {
+		t.Error("cross-tenant reallocation must reset the rank")
+	}
+}
+
+func TestAllocSetInsufficient(t *testing.T) {
+	mach, mgr := testStack(t, 2)
+	vm, err := NewVM(mach, mgr, Config{Name: "s", VUPMEMs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.AllocSet(5); !errors.Is(err, sdk.ErrNotEnoughDPUs) {
+		t.Errorf("want ErrNotEnoughDPUs, got %v", err)
+	}
+}
+
+// TestVariantOrdering: for a bulk write workload, rust must be slower than
+// C, and sequential multi-rank handling slower than parallel.
+func TestVariantOrdering(t *testing.T) {
+	write := func(opts Options) time.Duration {
+		mach, mgr := testStack(t, 2)
+		vm, err := NewVM(mach, mgr, Config{Name: "v", VUPMEMs: 2, Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := vm.AllocSet(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := vm.AllocBuffer(256 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := vm.Timeline().Now()
+		for d := 0; d < 8; d++ {
+			if err := set.PrepareXfer(d, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := set.PushXfer(sdk.ToDPU, 0, 256<<10); err != nil {
+			t.Fatal(err)
+		}
+		return vm.Timeline().Now() - start
+	}
+	c := write(Options{Engine: cost.EngineC})
+	rust := write(Options{Engine: cost.EngineRust})
+	if rust <= c {
+		t.Errorf("rust engine (%v) must be slower than C (%v)", rust, c)
+	}
+	seq := write(Options{Engine: cost.EngineC})
+	par := write(Options{Engine: cost.EngineC, Parallel: true})
+	if par >= seq {
+		t.Errorf("parallel multi-rank (%v) must beat sequential (%v)", par, seq)
+	}
+}

@@ -1,0 +1,46 @@
+package vpim
+
+import "repro/internal/trace"
+
+// Breakdown categories (re-exported from the trace layer).
+//
+// Application-centric phases segment Fig. 8; driver-centric operations
+// segment Fig. 12; write-to-rank steps segment Fig. 13.
+const (
+	PhaseCPUDPU   = trace.PhaseCPUDPU
+	PhaseDPU      = trace.PhaseDPU
+	PhaseInterDPU = trace.PhaseInterDPU
+	PhaseDPUCPU   = trace.PhaseDPUCPU
+
+	OpCI        = trace.OpCI
+	OpReadRank  = trace.OpReadRank
+	OpWriteRank = trace.OpWriteRank
+	OpAlloc     = trace.OpAlloc
+
+	StepPage  = trace.StepPage
+	StepSer   = trace.StepSer
+	StepInt   = trace.StepInt
+	StepDeser = trace.StepDeser
+	StepTData = trace.StepTData
+)
+
+// Phases lists the application phases in the paper's plot order.
+func Phases() []string {
+	out := make([]string, len(trace.Phases))
+	copy(out, trace.Phases)
+	return out
+}
+
+// Ops lists the driver-centric operations in plot order.
+func Ops() []string {
+	out := make([]string, len(trace.Ops))
+	copy(out, trace.Ops)
+	return out
+}
+
+// Steps lists the write-to-rank steps in plot order.
+func Steps() []string {
+	out := make([]string, len(trace.Steps))
+	copy(out, trace.Steps)
+	return out
+}

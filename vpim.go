@@ -1,0 +1,183 @@
+// Package vpim is the public API of the vPIM reproduction: an open-source
+// model of "vPIM: Processing-in-Memory Virtualization" (MIDDLEWARE 2024).
+//
+// The library builds a host machine equipped with UPMEM-style PIM ranks,
+// runs PIM applications natively (performance mode) or inside Firecracker
+// microVMs through the virtio-pim para-virtualization stack, and measures
+// both on a deterministic virtual clock.
+//
+// Quick start:
+//
+//	host, _ := vpim.NewHost(vpim.HostConfig{Ranks: 1})
+//	host.Registry().MustRegister(myKernel)
+//
+//	env := host.NativeEnv()           // or vm, _ := host.NewVM(...)
+//	set, _ := env.AllocSet(64)
+//	set.Load(myKernel.Name)
+//	... prepare/push transfers, Launch, read results ...
+//	fmt.Println(env.Timeline().Now()) // virtual execution time
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package vpim
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/hostmem"
+	"repro/internal/manager"
+	"repro/internal/native"
+	"repro/internal/pim"
+	"repro/internal/sdk"
+	"repro/internal/simtime"
+	"repro/internal/vmm"
+)
+
+// Re-exported types: the public API surfaces the internal packages' types
+// under one roof so applications import only vpim.
+type (
+	// Env is an execution environment (native host or microVM guest).
+	Env = sdk.Env
+	// Set is an allocated DPU set (dpu_set_t).
+	Set = sdk.Set
+	// Device is one allocated rank as seen by the SDK.
+	Device = sdk.Device
+	// Buffer is page-aligned application memory.
+	Buffer = hostmem.Buffer
+	// Timeline is a virtual-time execution thread.
+	Timeline = simtime.Timeline
+	// Tracker accumulates virtual time per breakdown category.
+	Tracker = simtime.Tracker
+	// Duration is virtual time (an alias of time.Duration).
+	Duration = simtime.Duration
+	// Kernel is a DPU program.
+	Kernel = pim.Kernel
+	// KernelCtx is the tasklet execution context inside a DPU.
+	KernelCtx = pim.Ctx
+	// Symbol describes a host-visible DPU program variable.
+	Symbol = pim.Symbol
+	// Model is the calibrated virtual-time cost model.
+	Model = cost.Model
+	// VM is a booted Firecracker microVM with vUPMEM devices.
+	VM = vmm.VM
+	// VMConfig configures a microVM.
+	VMConfig = vmm.Config
+	// VMOptions selects the vPIM implementation variant (Table 2).
+	VMOptions = vmm.Options
+	// Manager is the host-side rank manager.
+	Manager = manager.Manager
+)
+
+// Transfer directions (dpu_push_xfer).
+const (
+	ToDPU   = sdk.ToDPU
+	FromDPU = sdk.FromDPU
+)
+
+// MRAMHeap is the MRAM heap transfer symbol (DPU_MRAM_HEAP_POINTER_NAME).
+const MRAMHeap = sdk.MRAMHeap
+
+// Copy engines (Section 4.2 "AVX512 and C enhancements").
+const (
+	EngineC    = cost.EngineC
+	EngineRust = cost.EngineRust
+)
+
+// DefaultModel returns the calibrated cost model.
+func DefaultModel() Model { return cost.Default() }
+
+// FullOptions returns the fully-optimized vPIM variant.
+func FullOptions() VMOptions { return vmm.Full() }
+
+// HostConfig sizes the simulated host machine.
+type HostConfig struct {
+	// Ranks is the number of UPMEM ranks (the paper's testbed has 8).
+	Ranks int
+	// DPUsPerRank is the functional DPU count per rank (60 on the paper's
+	// machine; architectural max 64). Zero selects 64.
+	DPUsPerRank int
+	// MRAMBytes is the per-DPU MRAM size. Zero selects the hardware's
+	// 64 MB; tests and scaled experiments use smaller banks.
+	MRAMBytes int64
+	// Model overrides the cost model (nil selects DefaultModel).
+	Model *Model
+	// HostRAM is the memory available to native applications' buffers.
+	// Zero selects 8 GB.
+	HostRAM int64
+}
+
+// Host is a machine with PIM hardware, its rank manager, and factories for
+// native and virtualized execution environments.
+type Host struct {
+	mach    *pim.Machine
+	mgr     *manager.Manager
+	hostRAM int64
+}
+
+// NewHost builds the machine and starts its manager.
+func NewHost(cfg HostConfig) (*Host, error) {
+	if cfg.Ranks == 0 {
+		cfg.Ranks = 1
+	}
+	model := cost.Default()
+	if cfg.Model != nil {
+		model = *cfg.Model
+	}
+	mach, err := pim.NewMachine(pim.MachineConfig{
+		Ranks: cfg.Ranks,
+		Rank: pim.RankConfig{
+			DPUs:      cfg.DPUsPerRank,
+			MRAMBytes: cfg.MRAMBytes,
+		},
+		Model: model,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("new machine: %w", err)
+	}
+	hostRAM := cfg.HostRAM
+	if hostRAM == 0 {
+		hostRAM = 8 << 30
+	}
+	return &Host{
+		mach:    mach,
+		mgr:     manager.New(mach, manager.Options{}),
+		hostRAM: hostRAM,
+	}, nil
+}
+
+// PaperHost builds the evaluation machine of Section 5.1: 8 ranks of 60
+// functional DPUs (480 total), with the given per-DPU MRAM size (pass 0 for
+// the full 64 MB).
+func PaperHost(mramBytes int64) (*Host, error) {
+	return NewHost(HostConfig{Ranks: 8, DPUsPerRank: 60, MRAMBytes: mramBytes})
+}
+
+// Registry exposes the DPU binary registry; register kernels before loading
+// them by name.
+func (h *Host) Registry() *pim.Registry { return h.mach.Registry() }
+
+// Machine exposes the PIM hardware.
+func (h *Host) Machine() *pim.Machine { return h.mach }
+
+// Manager exposes the rank manager.
+func (h *Host) Manager() *manager.Manager { return h.mgr }
+
+// Model reports the host's cost model.
+func (h *Host) Model() Model { return h.mach.Model() }
+
+// NativeEnv creates a fresh native (performance-mode) execution environment.
+func (h *Host) NativeEnv() Env {
+	return native.NewEnv(h.mach, h.mgr, h.hostRAM)
+}
+
+// NewVM boots a microVM on this host.
+func (h *Host) NewVM(cfg VMConfig) (*VM, error) {
+	return vmm.NewVM(h.mach, h.mgr, cfg)
+}
+
+// Phase attributes the virtual time fn spends to an application phase
+// (trace categories, e.g. trace.PhaseCPUDPU); see package trace re-exports
+// below.
+func Phase(tl *Timeline, phase string, fn func() error) error {
+	return sdk.Phase(tl, phase, fn)
+}

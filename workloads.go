@@ -1,0 +1,41 @@
+package vpim
+
+import (
+	"repro/internal/prim"
+	"repro/internal/upmem"
+)
+
+// Workload re-exports: the PrIM benchmark suite and the UPMEM
+// microbenchmarks ship with the library so downstream users can reproduce
+// the paper's evaluation against their own configurations.
+type (
+	// PrIMApp is one application of the PrIM suite (Table 1).
+	PrIMApp = prim.App
+	// PrIMParams sizes a PrIM run.
+	PrIMParams = prim.Params
+	// ChecksumParams sizes the UPMEM checksum microbenchmark.
+	ChecksumParams = upmem.ChecksumParams
+	// IndexSearchParams sizes the Wikipedia index-search use case.
+	IndexSearchParams = upmem.IndexSearchParams
+)
+
+// RegisterWorkloads installs every PrIM and microbenchmark DPU binary on the
+// host. Call once before running any bundled workload.
+func RegisterWorkloads(h *Host) error {
+	if err := prim.Register(h.Registry()); err != nil {
+		return err
+	}
+	return upmem.Register(h.Registry())
+}
+
+// PrIMApps returns the sixteen PrIM applications in Table 1 order.
+func PrIMApps() []PrIMApp { return prim.Apps() }
+
+// LookupPrIM finds a PrIM application by its short name (e.g. "VA").
+func LookupPrIM(name string) (PrIMApp, error) { return prim.Lookup(name) }
+
+// RunChecksum executes the UPMEM checksum microbenchmark in env.
+func RunChecksum(env Env, p ChecksumParams) error { return upmem.RunChecksum(env, p) }
+
+// RunIndexSearch executes the Wikipedia index-search use case in env.
+func RunIndexSearch(env Env, p IndexSearchParams) error { return upmem.RunIndexSearch(env, p) }
