@@ -30,16 +30,25 @@ func main() {
 		socket  = flag.String("socket", "/tmp/vpim-manager.sock", "UNIX socket path")
 		ranks   = flag.Int("ranks", 8, "physical ranks on the machine")
 		dpus    = flag.Int("dpus", 60, "functional DPUs per rank")
-		threads = flag.Int("threads", 8, "request thread-pool size")
+		threads = flag.Int("threads", 8, "request thread-pool size (bounds in-flight requests)")
+		retries = flag.Int("retries", 3, "allocation poll attempts before abandoning")
+		timeout = flag.Duration("retry-timeout", 100*time.Millisecond, "first allocation poll interval")
+		backoff = flag.Float64("backoff", 2, "poll-interval multiplier per failed attempt")
 	)
 	flag.Parse()
-	if err := run(*socket, *ranks, *dpus, *threads); err != nil {
+	opts := manager.Options{
+		Threads:      *threads,
+		Retries:      *retries,
+		RetryTimeout: *timeout,
+		Backoff:      *backoff,
+	}
+	if err := run(*socket, *ranks, *dpus, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "vpim-manager:", err)
 		os.Exit(1)
 	}
 }
 
-func run(socket string, ranks, dpus, threads int) error {
+func run(socket string, ranks, dpus int, opts manager.Options) error {
 	mach, err := pim.NewMachine(pim.MachineConfig{
 		Ranks: ranks,
 		Rank:  pim.RankConfig{DPUs: dpus},
@@ -47,7 +56,7 @@ func run(socket string, ranks, dpus, threads int) error {
 	if err != nil {
 		return err
 	}
-	mgr := manager.New(mach, manager.Options{Threads: threads})
+	mgr := manager.New(mach, opts)
 	// The observer thread erases released ranks in the background
 	// (Section 3.5).
 	obs := mgr.StartObserver(100 * time.Millisecond)
@@ -69,6 +78,9 @@ func run(socket string, ranks, dpus, threads int) error {
 	select {
 	case <-sig:
 		fmt.Println("vpim-manager: shutting down")
+		// Close the manager first: waiters parked in the FIFO queue unwind
+		// immediately instead of sleeping out their retry budgets.
+		mgr.Close()
 		srv.Shutdown()
 		<-done
 		return nil

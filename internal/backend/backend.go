@@ -169,6 +169,24 @@ func (b *Backend) HandleTransfer(chain *virtio.Chain, tl *simtime.Timeline) erro
 		b.writeStatus(status, virtio.StatusError)
 		return fmt.Errorf("backend %s: %w", b.id, ErrNoRank)
 	}
+	if !b.simulated {
+		// Fault tolerance: a physically-backed rank may have died since the
+		// last request (manager.FaultPolicy.RankDead). The manager
+		// quarantines it; with oversubscription the device fails over to a
+		// blank simulated rank (the tenant survives, though the dead rank's
+		// MRAM contents are lost), otherwise the request errors.
+		if cerr := b.mgr.CheckRank(b.rank); cerr != nil {
+			if !b.oversubscribe {
+				b.rank = nil
+				b.writeStatus(status, virtio.StatusError)
+				return fmt.Errorf("backend %s: %w", b.id, cerr)
+			}
+			if serr := b.attachSimulated(); serr != nil {
+				b.writeStatus(status, virtio.StatusError)
+				return fmt.Errorf("backend %s failover: %w", b.id, serr)
+			}
+		}
+	}
 	if err := b.dispatch(req, chain, status, tl); err != nil {
 		b.writeStatus(status, virtio.StatusError)
 		return err

@@ -18,16 +18,21 @@ import (
 type prefetchCache struct {
 	bufs  []hostmem.Buffer
 	start []int64
-	valid []bool
-	size  int
+	// winLen is each DPU's valid window length: usually the full cache
+	// size, but a fill near the end of MRAM is truncated, and bytes past
+	// the fetched window hold stale data from older fills.
+	winLen []int
+	valid  []bool
+	size   int
 }
 
 func newPrefetchCache(mem *hostmem.Memory, nDPUs, pages int) (*prefetchCache, error) {
 	c := &prefetchCache{
-		bufs:  make([]hostmem.Buffer, nDPUs),
-		start: make([]int64, nDPUs),
-		valid: make([]bool, nDPUs),
-		size:  pages * hostmem.PageSize,
+		bufs:   make([]hostmem.Buffer, nDPUs),
+		start:  make([]int64, nDPUs),
+		winLen: make([]int, nDPUs),
+		valid:  make([]bool, nDPUs),
+		size:   pages * hostmem.PageSize,
 	}
 	for d := 0; d < nDPUs; d++ {
 		buf, err := mem.Alloc(c.size)
@@ -53,9 +58,11 @@ func (c *prefetchCache) invalidate() {
 	}
 }
 
-// hit reports whether [off, off+length) of DPU d is cached.
+// hit reports whether [off, off+length) of DPU d lies inside the fetched
+// window — the per-DPU winLen, not the full cache size, so a truncated fill
+// near the MRAM end never serves its stale tail.
 func (c *prefetchCache) hit(d int, off int64, length int) bool {
-	return c.valid[d] && off >= c.start[d] && off+int64(length) <= c.start[d]+int64(c.size)
+	return c.valid[d] && off >= c.start[d] && off+int64(length) <= c.start[d]+int64(c.winLen[d])
 }
 
 // readViaCache serves a small read: cache hits copy from guest memory; all
@@ -92,6 +99,7 @@ func (f *Frontend) readViaCache(entries []sdk.DPUXfer, off int64, length int, tl
 		}
 		for _, row := range missRows {
 			c.start[row.dpu] = off
+			c.winLen[row.dpu] = row.size
 			c.valid[row.dpu] = true
 			f.stats.CacheFills++
 		}

@@ -8,12 +8,20 @@
 // allocated, not available) until the reset erases their content and returns
 // them to NAAV. As an optimization the manager hands a NANA rank straight
 // back to its previous owner without resetting, saving the ~597 ms memset.
+//
+// Allocation requests that find no rank do not fail immediately: they join a
+// FIFO waiter queue and sleep through up to Retries poll intervals (the
+// retry-with-timeout loop of Section 3.5), so a concurrent release satisfies
+// the oldest waiting request. Only the time actually slept is charged on the
+// virtual clock. A FaultPolicy can inject rank failures; failed ranks are
+// quarantined (QUAR) rather than handed to tenants.
 package manager
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/pim"
@@ -29,6 +37,9 @@ const (
 	StateALLO
 	// StateNANA: not allocated, not available (dirty, awaiting reset).
 	StateNANA
+	// StateQUAR: quarantined after a fault (reset failure or rank death);
+	// never handed to tenants until the observer revives it.
+	StateQUAR
 )
 
 // String implements fmt.Stringer.
@@ -40,6 +51,8 @@ func (s RankState) String() string {
 		return "ALLO"
 	case StateNANA:
 		return "NANA"
+	case StateQUAR:
+		return "QUAR"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
@@ -53,16 +66,30 @@ var (
 	// ErrNotAllocated reports a release of a rank the manager does not
 	// consider allocated.
 	ErrNotAllocated = errors.New("manager: rank is not allocated")
+	// ErrClosed reports an allocation against a manager that has shut down;
+	// pending waiters are woken with this error.
+	ErrClosed = errors.New("manager: closed")
+	// ErrRankFaulted reports that a rank died while allocated (fault
+	// injection); the rank has been quarantined and the owner must fail
+	// over or re-attach.
+	ErrRankFaulted = errors.New("manager: rank faulted")
 )
 
 // Options tunes the manager. Zero values select the prototype's defaults.
 type Options struct {
-	// Threads is the request thread-pool size (8 in the prototype).
+	// Threads is the request thread-pool size (8 in the prototype). The
+	// pool bounds in-flight requests, not connections; an allocation parked
+	// in the waiter queue does not hold a thread.
 	Threads int
 	// Retries is how many times an allocation re-polls before abandoning.
 	Retries int
-	// RetryTimeout is the virtual wait between allocation attempts.
+	// RetryTimeout is the first poll interval of a waiting allocation;
+	// the requester really sleeps it, and is charged exactly what it slept.
 	RetryTimeout time.Duration
+	// Backoff multiplies the poll interval after each failed attempt
+	// (exponential backoff). Values below 1 are treated as 1 (constant
+	// interval); 0 selects the default of 2.
+	Backoff float64
 }
 
 func (o Options) withDefaults() Options {
@@ -75,7 +102,30 @@ func (o Options) withDefaults() Options {
 	if o.RetryTimeout == 0 {
 		o.RetryTimeout = 100 * time.Millisecond
 	}
+	if o.Backoff == 0 {
+		o.Backoff = 2
+	}
+	if o.Backoff < 1 {
+		o.Backoff = 1
+	}
 	return o
+}
+
+// FaultPolicy injects failures into the manager for robustness testing
+// (chaos-style fault injection). All hooks are optional and must be safe for
+// concurrent use; they are consulted with the manager lock held, so they
+// must not call back into the manager.
+type FaultPolicy struct {
+	// FailReset reports whether erasing the given rank fails. A failed
+	// reset quarantines the rank instead of returning it to the pool.
+	FailReset func(rank int) bool
+	// AllocStall returns extra virtual latency injected into an allocation
+	// by the given owner (a slow-manager stall).
+	AllocStall func(owner string) time.Duration
+	// RankDead reports whether the rank's hardware has died. Dead ranks are
+	// quarantined when the manager is about to hand them out, or when
+	// CheckRank observes the death on an allocated rank.
+	RankDead func(rank int) bool
 }
 
 type entry struct {
@@ -83,6 +133,29 @@ type entry struct {
 	state     RankState
 	owner     string
 	prevOwner string
+}
+
+// waiter is one queued allocation request. The grant is delivered through
+// ready (buffered, sent exactly once, always under the manager lock).
+type waiter struct {
+	owner string
+	ready chan grant
+}
+
+// grant is the outcome handed to a waiter: a rank plus the extra virtual
+// cost its preparation incurred (a reset), or a terminal error.
+type grant struct {
+	rank  *pim.Rank
+	extra time.Duration
+	err   error
+}
+
+// allocHooks observes a blocking allocation's park/unpark transitions so the
+// server can hand its request-pool slot back while the allocation waits.
+// Both hooks are called without the manager lock held.
+type allocHooks struct {
+	park   func()
+	unpark func()
 }
 
 // Manager is the rank table plus allocation policy. All methods are safe for
@@ -94,27 +167,13 @@ type Manager struct {
 	mu      sync.Mutex
 	entries []entry
 	rrNext  int
+	waiters []*waiter
+	closed  bool
+	fault   *FaultPolicy
 
-	allocs atomic64
-	resets atomic64
-}
-
-// atomic64 is a tiny counter; a named type keeps the struct fields tidy.
-type atomic64 struct {
-	mu sync.Mutex
-	n  int64
-}
-
-func (a *atomic64) add() {
-	a.mu.Lock()
-	a.n++
-	a.mu.Unlock()
-}
-
-func (a *atomic64) get() int64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.n
+	allocs atomic.Int64
+	resets atomic.Int64
+	faults atomic.Int64
 }
 
 // New builds a manager over the machine's ranks; all start NAAV.
@@ -131,28 +190,114 @@ func New(machine *pim.Machine, opts Options) *Manager {
 	}
 }
 
+// SetFaultPolicy installs (or, with nil, removes) the fault-injection hooks.
+func (m *Manager) SetFaultPolicy(p *FaultPolicy) {
+	m.mu.Lock()
+	m.fault = p
+	m.mu.Unlock()
+}
+
 // Alloc reserves one rank for owner and reports the virtual latency of the
 // allocation round trip: the manager's measured 36 ms when a NAAV (or
 // reusable NANA) rank exists, extended by the reset time when a foreign NANA
-// rank must be erased first, or by the retry timeouts when nothing is
-// available.
+// rank must be erased first.
 //
-// The latency is returned rather than charged because the manager has no
-// timeline of its own: the requesting VM charges it.
+// When every rank is busy the request joins a FIFO waiter queue and really
+// blocks: it sleeps through up to Retries poll intervals (RetryTimeout,
+// growing by Backoff after each attempt) waiting for a concurrent release,
+// and is abandoned with ErrNoRanks only after the full budget. The returned
+// latency charges exactly the poll intervals the requester slept — the
+// manager has no timeline of its own, so the requesting VM charges it.
 func (m *Manager) Alloc(owner string) (*pim.Rank, time.Duration, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	allocLatency := m.allocLatency
+	return m.alloc(owner, allocHooks{})
+}
 
+func (m *Manager) alloc(owner string, hooks allocHooks) (*pim.Rank, time.Duration, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	var stall time.Duration
+	if m.fault != nil && m.fault.AllocStall != nil {
+		stall = m.fault.AllocStall(owner)
+	}
+	// Fast path only when nobody is queued: a request must not overtake
+	// older waiters (FIFO fairness).
+	if len(m.waiters) == 0 {
+		if g, ok := m.tryGrantLocked(owner); ok {
+			m.mu.Unlock()
+			return g.rank, m.allocLatency + g.extra + stall, nil
+		}
+	}
+	w := &waiter{owner: owner, ready: make(chan grant, 1)}
+	m.waiters = append(m.waiters, w)
+	m.mu.Unlock()
+
+	if hooks.park != nil {
+		hooks.park()
+	}
+	unpark := func() {
+		if hooks.unpark != nil {
+			hooks.unpark()
+		}
+	}
+
+	// The retry loop of Section 3.5: sleep a poll interval, wake, check for
+	// a grant, back off, repeat. The grant is observed at the poll boundary,
+	// so the full interval it arrived within is charged.
+	waited := stall
+	interval := m.opts.RetryTimeout
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for attempt := 1; ; attempt++ {
+		select {
+		case g := <-w.ready:
+			waited += interval
+			unpark()
+			if g.err != nil {
+				return nil, waited, g.err
+			}
+			return g.rank, waited + m.allocLatency + g.extra, nil
+		case <-timer.C:
+			waited += interval
+			if attempt >= m.opts.Retries {
+				m.mu.Lock()
+				removed := m.removeWaiterLocked(w)
+				m.mu.Unlock()
+				if removed {
+					unpark()
+					return nil, waited, ErrNoRanks
+				}
+				// A grant raced with the abandonment; it was sent before
+				// the waiter left the queue, so it is already buffered.
+				g := <-w.ready
+				unpark()
+				if g.err != nil {
+					return nil, waited, g.err
+				}
+				return g.rank, waited + m.allocLatency + g.extra, nil
+			}
+			interval = time.Duration(float64(interval) * m.opts.Backoff)
+			timer.Reset(interval)
+		}
+	}
+}
+
+// tryGrantLocked applies the Fig. 5 allocation policy for owner: same-owner
+// NANA reuse, then round-robin over NAAV ranks, then a foreign NANA rank
+// paid for with a reset. Ranks the fault policy reports dead are quarantined
+// and skipped.
+func (m *Manager) tryGrantLocked(owner string) (grant, bool) {
 	// 1. Prefer a NANA rank previously owned by the requester: no reset
 	// needed, saving CPU cycles (Section 3.5).
 	for i := range m.entries {
 		e := &m.entries[i]
-		if e.state == StateNANA && e.prevOwner == owner {
+		if e.state == StateNANA && e.prevOwner == owner && m.usableLocked(e) {
 			e.state = StateALLO
 			e.owner = owner
-			m.allocs.add()
-			return e.rank, allocLatency, nil
+			m.allocs.Add(1)
+			return grant{rank: e.rank}, true
 		}
 	}
 	// 2. Round-robin over NAAV ranks.
@@ -160,48 +305,107 @@ func (m *Manager) Alloc(owner string) (*pim.Rank, time.Duration, error) {
 	for k := 0; k < n; k++ {
 		i := (m.rrNext + k) % n
 		e := &m.entries[i]
-		if e.state == StateNAAV {
+		if e.state == StateNAAV && m.usableLocked(e) {
 			e.state = StateALLO
 			e.owner = owner
 			m.rrNext = (i + 1) % n
-			m.allocs.add()
-			return e.rank, allocLatency, nil
+			m.allocs.Add(1)
+			return grant{rank: e.rank}, true
 		}
 	}
 	// 3. Reset a foreign NANA rank; the requester waits out the memset.
 	for i := range m.entries {
 		e := &m.entries[i]
-		if e.state == StateNANA {
-			e.rank.Reset()
-			m.resets.add()
+		if e.state == StateNANA && m.usableLocked(e) {
+			if !m.resetLocked(e) {
+				continue // reset failed: quarantined, keep looking
+			}
 			e.state = StateALLO
 			e.owner = owner
-			m.allocs.add()
-			return e.rank, allocLatency + e.rank.ResetDuration(), nil
+			m.allocs.Add(1)
+			return grant{rank: e.rank, extra: e.rank.ResetDuration()}, true
 		}
 	}
-	// 4. Everything is ALLO: retry with timeouts, then abandon.
-	waited := time.Duration(m.opts.Retries) * m.opts.RetryTimeout
-	return nil, waited, ErrNoRanks
+	return grant{}, false
+}
+
+// grantWaitersLocked serves queued requests strictly in FIFO order for as
+// long as the head waiter can be satisfied. Called whenever a rank may have
+// become allocatable.
+func (m *Manager) grantWaitersLocked() {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		g, ok := m.tryGrantLocked(w.owner)
+		if !ok {
+			return
+		}
+		m.waiters = m.waiters[1:]
+		w.ready <- g
+	}
+}
+
+func (m *Manager) removeWaiterLocked(w *waiter) bool {
+	for i, q := range m.waiters {
+		if q == w {
+			m.waiters = append(m.waiters[:i], m.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// usableLocked applies the rank-death fault check to a rank about to be
+// handed out; a dead rank is quarantined and reported unusable.
+func (m *Manager) usableLocked(e *entry) bool {
+	if m.fault != nil && m.fault.RankDead != nil && m.fault.RankDead(e.rank.Index()) {
+		m.quarantineLocked(e)
+		return false
+	}
+	return true
+}
+
+// resetLocked erases a rank, honoring injected reset failures: a failed
+// reset quarantines the rank and reports false.
+func (m *Manager) resetLocked(e *entry) bool {
+	if m.fault != nil && m.fault.FailReset != nil && m.fault.FailReset(e.rank.Index()) {
+		m.quarantineLocked(e)
+		return false
+	}
+	e.rank.Reset()
+	m.resets.Add(1)
+	return true
+}
+
+func (m *Manager) quarantineLocked(e *entry) {
+	e.state = StateQUAR
+	e.owner = ""
+	e.prevOwner = ""
+	m.faults.Add(1)
 }
 
 // Release returns a rank to the manager. In the real system the VM does not
 // call the manager: a dedicated observer thread notices the release through
 // the rank's sysfs status file; this method is that observation. The rank
 // becomes NANA until ProcessResets (the observer's background erase) or a
-// same-owner reallocation.
+// same-owner reallocation — unless a request is waiting, in which case the
+// head of the FIFO queue is served immediately. Releasing a quarantined rank
+// is a no-op: the rank is already out of service.
 func (m *Manager) Release(r *pim.Rank) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i := range m.entries {
 		e := &m.entries[i]
 		if e.rank == r {
+			if e.state == StateQUAR {
+				return nil
+			}
 			if e.state != StateALLO {
 				return fmt.Errorf("%w: rank %d in %v", ErrNotAllocated, r.Index(), e.state)
 			}
 			e.state = StateNANA
 			e.prevOwner = e.owner
 			e.owner = ""
+			m.grantWaitersLocked()
 			return nil
 		}
 	}
@@ -211,7 +415,8 @@ func (m *Manager) Release(r *pim.Rank) error {
 // ProcessResets performs the observer thread's background work: erase every
 // NANA rank and mark it NAAV. It reports the virtual time the resets took
 // (the ~597 ms/rank memset of Section 4.2); resets of distinct ranks run
-// sequentially on the observer thread, so the durations add.
+// sequentially on the observer thread, so the durations add. Ranks whose
+// reset fails (fault injection) are quarantined instead.
 func (m *Manager) ProcessResets() time.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -219,19 +424,90 @@ func (m *Manager) ProcessResets() time.Duration {
 	for i := range m.entries {
 		e := &m.entries[i]
 		if e.state == StateNANA {
-			e.rank.Reset()
-			m.resets.add()
+			if !m.resetLocked(e) {
+				continue
+			}
 			total += e.rank.ResetDuration()
 			e.state = StateNAAV
 			e.prevOwner = ""
 		}
 	}
+	m.grantWaitersLocked()
 	return total
+}
+
+// RetryQuarantined re-tests every quarantined rank against the fault policy:
+// a rank that is no longer dead and whose reset now succeeds returns to NAAV
+// (graceful recovery). It reports how many ranks were revived. The observer
+// calls this on every poll.
+func (m *Manager) RetryQuarantined() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	revived := 0
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.state != StateQUAR {
+			continue
+		}
+		if m.fault != nil && m.fault.RankDead != nil && m.fault.RankDead(e.rank.Index()) {
+			continue
+		}
+		if m.fault != nil && m.fault.FailReset != nil && m.fault.FailReset(e.rank.Index()) {
+			continue
+		}
+		e.rank.Reset()
+		m.resets.Add(1)
+		e.state = StateNAAV
+		revived++
+	}
+	if revived > 0 {
+		m.grantWaitersLocked()
+	}
+	return revived
+}
+
+// CheckRank verifies an allocated rank against the fault policy: a rank that
+// died while allocated is quarantined (ALLO -> QUAR) and ErrRankFaulted is
+// returned so the owner can fail over or re-attach.
+func (m *Manager) CheckRank(r *pim.Rank) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.rank == r {
+			if e.state == StateQUAR {
+				return ErrRankFaulted
+			}
+			if m.fault != nil && m.fault.RankDead != nil && m.fault.RankDead(r.Index()) {
+				m.quarantineLocked(e)
+				return ErrRankFaulted
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// Close shuts the allocation path down: pending waiters are woken with
+// ErrClosed and future allocations fail fast. Idempotent. The daemon calls
+// this before stopping its server so blocked requests unwind promptly.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, w := range m.waiters {
+		w.ready <- grant{err: ErrClosed}
+	}
+	m.waiters = nil
 }
 
 // AcquireNative reserves ranks covering nrDPUs for a host-native
 // application. Native applications bypass the manager's socket protocol (the
-// observer merely sees their usage), so no allocation latency applies.
+// observer merely sees their usage), so no allocation latency applies and
+// the FIFO queue is not consulted.
 func (m *Manager) AcquireNative(nrDPUs int) ([]*pim.Rank, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -244,9 +520,13 @@ func (m *Manager) AcquireNative(nrDPUs int) ([]*pim.Rank, error) {
 		e := &m.entries[i]
 		switch e.state {
 		case StateNAAV:
+			if !m.usableLocked(e) {
+				continue
+			}
 		case StateNANA:
-			e.rank.Reset()
-			m.resets.add()
+			if !m.usableLocked(e) || !m.resetLocked(e) {
+				continue
+			}
 		default:
 			continue
 		}
@@ -265,6 +545,7 @@ func (m *Manager) AcquireNative(nrDPUs int) ([]*pim.Rank, error) {
 				}
 			}
 		}
+		m.grantWaitersLocked()
 		return nil, fmt.Errorf("%w: want %d DPUs", ErrNoRanks, nrDPUs)
 	}
 	return picked, nil
@@ -276,6 +557,18 @@ func (m *Manager) ReleaseNative(r *pim.Rank) {
 	// Errors here mean double release; native.RankPool has no error path
 	// and the state machine is already consistent, so drop it.
 	_ = m.Release(r)
+}
+
+// RankByIndex looks a rank up by its machine index.
+func (m *Manager) RankByIndex(idx int) (*pim.Rank, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.entries {
+		if m.entries[i].rank.Index() == idx {
+			return m.entries[i].rank, true
+		}
+	}
+	return nil, false
 }
 
 // States snapshots the rank table for tests and the admin CLI.
@@ -300,8 +593,32 @@ func (m *Manager) Owners() []string {
 	return out
 }
 
+// Waiters reports how many allocation requests are parked in the FIFO queue.
+func (m *Manager) Waiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}
+
+// Quarantined lists the indexes of quarantined ranks.
+func (m *Manager) Quarantined() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	for i := range m.entries {
+		if m.entries[i].state == StateQUAR {
+			out = append(out, m.entries[i].rank.Index())
+		}
+	}
+	return out
+}
+
 // Allocations reports how many allocations have been served.
-func (m *Manager) Allocations() int64 { return m.allocs.get() }
+func (m *Manager) Allocations() int64 { return m.allocs.Load() }
 
 // Resets reports how many rank resets have been performed.
-func (m *Manager) Resets() int64 { return m.resets.get() }
+func (m *Manager) Resets() int64 { return m.resets.Load() }
+
+// Faults reports how many rank faults (failed resets, rank deaths) the
+// manager has absorbed by quarantining.
+func (m *Manager) Faults() int64 { return m.faults.Load() }

@@ -137,16 +137,23 @@ func TestRoundRobin(t *testing.T) {
 }
 
 func TestExhaustion(t *testing.T) {
-	mgr := New(testMachine(t, 1), Options{Retries: 2, RetryTimeout: 50 * time.Millisecond})
+	mgr := New(testMachine(t, 1), Options{Retries: 2, RetryTimeout: 10 * time.Millisecond, Backoff: 2})
 	if _, _, err := mgr.Alloc("a"); err != nil {
 		t.Fatal(err)
 	}
+	start := time.Now()
 	_, waited, err := mgr.Alloc("b")
+	elapsed := time.Since(start)
 	if !errors.Is(err, ErrNoRanks) {
 		t.Fatalf("want ErrNoRanks, got %v", err)
 	}
-	if waited != 100*time.Millisecond {
-		t.Errorf("abandon latency = %v, want retries*timeout", waited)
+	// Two poll intervals with 2x backoff: 10ms + 20ms, charged honestly.
+	if waited != 30*time.Millisecond {
+		t.Errorf("abandon latency = %v, want the 30ms actually slept", waited)
+	}
+	// The request must really have waited, not just been billed.
+	if elapsed < 25*time.Millisecond {
+		t.Errorf("abandoned alloc returned after %v: it never waited", elapsed)
 	}
 }
 
@@ -164,7 +171,7 @@ func TestReleaseErrors(t *testing.T) {
 }
 
 func TestNativeCoexistence(t *testing.T) {
-	mgr := New(testMachine(t, 2), Options{})
+	mgr := New(testMachine(t, 2), Options{Retries: 2, RetryTimeout: 2 * time.Millisecond})
 	ranks, err := mgr.AcquireNative(6) // needs both 4-DPU ranks
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +201,7 @@ func TestNativeRollback(t *testing.T) {
 }
 
 func TestStateString(t *testing.T) {
-	if StateNAAV.String() != "NAAV" || StateALLO.String() != "ALLO" || StateNANA.String() != "NANA" {
+	if StateNAAV.String() != "NAAV" || StateALLO.String() != "ALLO" || StateNANA.String() != "NANA" || StateQUAR.String() != "QUAR" {
 		t.Error("state names wrong")
 	}
 	if RankState(9).String() != "state(9)" {

@@ -33,12 +33,13 @@ func (m *Manager) Migrate(from *pim.Rank) (*pim.Rank, time.Duration, error) {
 	}
 
 	// Pick a destination: prefer clean NAAV ranks, fall back to resetting
-	// a NANA rank.
+	// a NANA rank. Dead or reset-failing targets are quarantined and
+	// skipped, like in the allocation path.
 	var dst *entry
 	var extra time.Duration
 	for i := range m.entries {
 		e := &m.entries[i]
-		if e.rank != from && e.state == StateNAAV {
+		if e.rank != from && e.state == StateNAAV && m.usableLocked(e) {
 			dst = e
 			break
 		}
@@ -46,9 +47,10 @@ func (m *Manager) Migrate(from *pim.Rank) (*pim.Rank, time.Duration, error) {
 	if dst == nil {
 		for i := range m.entries {
 			e := &m.entries[i]
-			if e.rank != from && e.state == StateNANA {
-				e.rank.Reset()
-				m.resets.add()
+			if e.rank != from && e.state == StateNANA && m.usableLocked(e) {
+				if !m.resetLocked(e) {
+					continue
+				}
 				extra += e.rank.ResetDuration()
 				dst = e
 				break
@@ -73,6 +75,8 @@ func (m *Manager) Migrate(from *pim.Rank) (*pim.Rank, time.Duration, error) {
 	src.state = StateNANA
 	src.prevOwner = src.owner
 	src.owner = ""
-	m.allocs.add()
+	m.allocs.Add(1)
+	// The source rank just became reclaimable: serve any queued request.
+	m.grantWaitersLocked()
 	return dst.rank, extra + ckDur + rsDur, nil
 }

@@ -5,8 +5,10 @@ import "time"
 // Observer is the manager's dedicated background thread (Section 3.5): it
 // watches the rank status files and erases released (NANA) ranks so they
 // return to the allocatable pool without blocking any allocation request.
-// In-process experiments call ProcessResets synchronously instead; the
-// standalone daemon runs an Observer.
+// It also re-tests quarantined ranks, reviving hardware whose injected
+// fault has cleared (graceful recovery). In-process experiments call
+// ProcessResets synchronously instead; the standalone daemon runs an
+// Observer.
 type Observer struct {
 	mgr      *Manager
 	interval time.Duration
@@ -39,6 +41,7 @@ func (o *Observer) run() {
 		select {
 		case <-ticker.C:
 			o.mgr.ProcessResets()
+			o.mgr.RetryQuarantined()
 		case <-o.stop:
 			return
 		}

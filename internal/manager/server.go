@@ -33,23 +33,30 @@ type Response struct {
 	States    []string `json:"states,omitempty"`
 }
 
-// Server exposes a Manager over a listener with the prototype's thread pool
-// (8 worker threads by default) for asynchronous request processing.
+// Server exposes a Manager over a listener. The prototype's thread pool
+// (8 worker threads by default) bounds in-flight *requests*, not
+// connections: every connection gets its own reader goroutine, and a request
+// occupies a pool slot only while it is actively processed. An allocation
+// that parks in the manager's FIFO waiter queue hands its slot back for the
+// duration of the wait, so any number of idle persistent clients — or
+// blocked allocations — can coexist with a small pool.
 type Server struct {
 	mgr *Manager
 
 	mu       sync.Mutex
 	listener net.Listener
+	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
-	sem      chan struct{}
+	slots    chan struct{}
 	closed   bool
 }
 
 // NewServer wraps mgr for serving.
 func NewServer(mgr *Manager) *Server {
 	return &Server{
-		mgr: mgr,
-		sem: make(chan struct{}, mgr.opts.Threads),
+		mgr:   mgr,
+		conns: make(map[net.Conn]struct{}),
+		slots: make(chan struct{}, mgr.opts.Threads),
 	}
 }
 
@@ -74,66 +81,92 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return fmt.Errorf("accept: %w", err)
 		}
-		s.sem <- struct{}{} // bounded worker pool
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
-			defer func() { <-s.sem }()
 			s.handleConn(conn)
 		}()
 	}
 }
 
-// Shutdown stops accepting and waits for in-flight connections.
+// Shutdown stops accepting, closes live connections and waits for their
+// handlers. Blocked allocations unwind on their own retry budget; for a
+// prompt shutdown close the Manager first (see cmd/vpim-manager).
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	s.closed = true
 	l := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	if l != nil {
 		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
 	}
 	s.wg.Wait()
 }
 
 func (s *Server) handleConn(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 64<<10), 64<<10)
 	enc := json.NewEncoder(conn)
 	for scanner.Scan() {
 		var req Request
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
-			_ = enc.Encode(Response{Error: fmt.Sprintf("bad request: %v", err)})
+			// One malformed line must not kill a persistent client: reply
+			// with the error and keep scanning.
+			if enc.Encode(Response{Error: fmt.Sprintf("bad request: %v", err)}) != nil {
+				return
+			}
+			continue
+		}
+		s.slots <- struct{}{} // request-pool slot
+		resp := s.dispatch(req)
+		<-s.slots
+		if err := enc.Encode(resp); err != nil {
 			return
 		}
-		_ = enc.Encode(s.dispatch(req))
 	}
 }
 
 func (s *Server) dispatch(req Request) Response {
 	switch req.Op {
 	case "alloc":
-		rank, latency, err := s.mgr.Alloc(req.Owner)
+		// While the allocation is parked in the manager's FIFO queue the
+		// request slot is handed back, so waiting allocations cannot starve
+		// the pool (releases must keep flowing to wake them).
+		rank, latency, err := s.mgr.alloc(req.Owner, allocHooks{
+			park:   func() { <-s.slots },
+			unpark: func() { s.slots <- struct{}{} },
+		})
 		if err != nil {
 			return Response{Error: err.Error(), LatencyNS: int64(latency)}
 		}
 		return Response{OK: true, Rank: rank.Index(), LatencyNS: int64(latency)}
 	case "release":
-		m := s.mgr
-		m.mu.Lock()
-		var target *entry
-		for i := range m.entries {
-			if m.entries[i].rank.Index() == req.Rank {
-				target = &m.entries[i]
-				break
-			}
-		}
-		m.mu.Unlock()
-		if target == nil {
+		rank, ok := s.mgr.RankByIndex(req.Rank)
+		if !ok {
 			return Response{Error: fmt.Sprintf("unknown rank %d", req.Rank)}
 		}
-		if err := m.Release(target.rank); err != nil {
+		if err := s.mgr.Release(rank); err != nil {
 			return Response{Error: err.Error()}
 		}
 		return Response{OK: true}
@@ -191,7 +224,8 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 }
 
 // Alloc requests a rank for owner; it returns the rank index and the
-// modeled allocation latency.
+// modeled allocation latency. The call blocks while the daemon's manager
+// holds the request in its FIFO waiter queue.
 func (c *Client) Alloc(owner string) (int, time.Duration, error) {
 	resp, err := c.roundTrip(Request{Op: "alloc", Owner: owner})
 	if err != nil {

@@ -2,6 +2,7 @@ package vmm
 
 import (
 	"bytes"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -91,6 +92,65 @@ func TestOversubscription(t *testing.T) {
 	}
 	if vmC.Backends()[0].Rank() != nil {
 		t.Error("simulated rank not dropped on release")
+	}
+}
+
+// TestRankDeathFailover: when the attached physical rank dies (injected via
+// manager.FaultPolicy), an oversubscribed device fails over to a simulated
+// rank on the next request instead of erroring; without oversubscription the
+// request fails and the rank is quarantined either way.
+func TestRankDeathFailover(t *testing.T) {
+	var dead atomic.Bool
+	boot := func(oversub bool) (*VM, *sdk.Set, *manager.Manager) {
+		t.Helper()
+		dead.Store(false)
+		mach, mgr := testStack(t, 1)
+		mgr.SetFaultPolicy(&manager.FaultPolicy{
+			RankDead: func(rank int) bool { return dead.Load() },
+		})
+		vm, err := NewVM(mach, mgr, Config{Name: "f", Options: Options{Oversubscribe: oversub}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err := vm.AllocSet(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vm.Backends()[0].Simulated() {
+			t.Fatal("device must start on the physical rank")
+		}
+		return vm, set, mgr
+	}
+
+	// Oversubscribed: the device survives the rank death on the simulator.
+	vm, set, mgr := boot(true)
+	buf, err := vm.AllocBuffer(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead.Store(true)
+	if err := set.CopyToMRAM(0, 0, buf, 256); err != nil {
+		t.Fatalf("oversubscribed device must fail over, got %v", err)
+	}
+	if !vm.Backends()[0].Simulated() {
+		t.Fatal("expected failover to a simulated rank")
+	}
+	if len(mgr.Quarantined()) != 1 {
+		t.Errorf("dead rank not quarantined: %v", mgr.States())
+	}
+
+	// Not oversubscribed: the request errors and the rank is quarantined.
+	vm, set, mgr = boot(false)
+	buf, err = vm.AllocBuffer(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead.Store(true)
+	if err := set.CopyToMRAM(0, 0, buf, 256); err == nil {
+		t.Fatal("rank death without oversubscription must fail the request")
+	}
+	if len(mgr.Quarantined()) != 1 {
+		t.Errorf("dead rank not quarantined: %v", mgr.States())
 	}
 }
 

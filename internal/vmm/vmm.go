@@ -233,20 +233,32 @@ func (vm *VM) MigrateRank(device int) error {
 // AllocSet implements sdk.Env: attach as many vUPMEM devices as needed to
 // cover nrDPUs and present them as one dpu_set (vUPMEM booking,
 // Section 3.3).
+//
+// The attachment path is fault tolerant: a device whose rank allocation
+// fails (exhaustion after the manager's retry budget, or an injected fault)
+// is skipped, and the remaining devices may still cover the request. The
+// booking fails only when the surviving devices cannot provide nrDPUs; the
+// last attach error is reported alongside so the tenant sees why.
 func (vm *VM) AllocSet(nrDPUs int) (*sdk.Set, error) {
 	var devs []sdk.Device
+	var attachErr error
 	covered := 0
 	for _, f := range vm.fronts {
 		if covered >= nrDPUs {
 			break
 		}
 		if err := f.Attach(vm.tl); err != nil {
-			return nil, fmt.Errorf("attach %s: %w", f.ID(), err)
+			attachErr = fmt.Errorf("attach %s: %w", f.ID(), err)
+			continue
 		}
 		devs = append(devs, f)
 		covered += f.NumDPUs()
 	}
 	if covered < nrDPUs {
+		if attachErr != nil {
+			return nil, fmt.Errorf("%w: want %d DPUs, vUPMEM devices provide %d (%v)",
+				sdk.ErrNotEnoughDPUs, nrDPUs, covered, attachErr)
+		}
 		return nil, fmt.Errorf("%w: want %d DPUs, vUPMEM devices provide %d",
 			sdk.ErrNotEnoughDPUs, nrDPUs, covered)
 	}

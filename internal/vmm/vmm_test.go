@@ -29,7 +29,9 @@ func testStack(t *testing.T, ranks int) (*pim.Machine, *manager.Manager) {
 			return nil
 		},
 	})
-	return mach, manager.New(mach, manager.Options{})
+	// Short retry budget: exhaustion tests would otherwise really sleep the
+	// manager's default 100ms+ poll intervals.
+	return mach, manager.New(mach, manager.Options{Retries: 2, RetryTimeout: 2 * time.Millisecond})
 }
 
 func TestConfigDefaults(t *testing.T) {
