@@ -8,6 +8,11 @@
 //	vpim-bench -fig 14                  # one figure
 //	vpim-bench -fig 8 -apps VA,NW       # Fig 8 for selected applications
 //	vpim-bench -list -variants          # Table 1 and Table 2
+//	vpim-bench -trace va.json           # Chrome trace of one vPIM VA run
+//
+// The -trace export is deterministic: running it twice with identical flags
+// yields byte-identical files (CI diffs two runs to catch regressions). Load
+// the file in chrome://tracing or https://ui.perfetto.dev.
 package main
 
 import (
@@ -32,20 +37,46 @@ func main() {
 		scale    = flag.Int("scale", 1, "PrIM dataset scale factor")
 		weak     = flag.Bool("weak", false, "PrIM weak scaling (per-DPU share constant) for -fig 8")
 		ckdiv    = flag.Int("checksum-divisor", 4, "divide checksum sizes by this (1 = paper's 8-60 MB per DPU)")
+		traceOut = flag.String("trace", "", "write a Chrome trace of one vPIM run to this file")
+		traceApp = flag.String("trace-app", "VA", "PrIM application for -trace")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *fig, *apps, *list, *variants, bench.Config{
+	cfg := bench.Config{
 		Ranks:           *ranks,
 		DPUsPerRank:     *dpus,
 		MRAMBytes:       *mram,
 		Scale:           *scale,
 		Weak:            *weak,
 		ChecksumDivisor: *ckdiv,
-	}); err != nil {
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, *traceApp, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "vpim-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if err := run(os.Stdout, *fig, *apps, *list, *variants, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "vpim-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTrace runs one PrIM workload on the fully-optimized vPIM variant with
+// span recording enabled and writes the Chrome trace-event JSON to path.
+func writeTrace(path, app string, cfg bench.Config) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	h := bench.New(io.Discard, cfg)
+	if err := h.TraceExport(f, app); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(w io.Writer, fig, apps string, list, variants bool, cfg bench.Config) error {

@@ -10,6 +10,11 @@
 // Try it with a shell client:
 //
 //	printf '{"op":"alloc","owner":"vm0"}\n' | nc -U /tmp/vpim-manager.sock
+//
+// The METRICS verb returns the manager's counter snapshot (allocations
+// granted/parked/timed out, releases, resets, quarantines) as JSON:
+//
+//	printf '{"op":"metrics"}\n' | nc -U /tmp/vpim-manager.sock
 package main
 
 import (

@@ -14,6 +14,7 @@ import (
 	"repro/internal/hostmem"
 	"repro/internal/manager"
 	"repro/internal/native"
+	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/simtime"
 	"repro/internal/trace"
@@ -44,6 +45,14 @@ type Backend struct {
 	// completion is the virtual instant the in-flight launch finishes;
 	// status polls compare the timeline against it.
 	completion simtime.Duration
+
+	// Observability (nil-safe until SetObs): deserialized rows, translated
+	// pages, copied bytes per engine, and simulator failovers.
+	rec        *obs.Recorder
+	cRows      *obs.Counter
+	cPages     *obs.Counter
+	cCopyBytes *obs.Counter
+	cFailovers *obs.Counter
 }
 
 // New wires a backend. engine selects the Rust or C copy path; loop is the
@@ -58,6 +67,18 @@ func New(id string, mach *pim.Machine, mgr *manager.Manager, mem *hostmem.Memory
 		engine: engine,
 		loop:   loop,
 	}
+}
+
+// SetObs registers the backend's counters in reg (tagged with the device
+// ID) and attaches the VM's span recorder. The copy-bytes counter carries
+// the engine name so the C and Rust paths stay distinguishable.
+func (b *Backend) SetObs(reg *obs.Registry, rec *obs.Recorder) {
+	tag := "#" + b.id
+	b.rec = rec
+	b.cRows = reg.Counter("backend.deser.rows" + tag)
+	b.cPages = reg.Counter("backend.deser.pages" + tag)
+	b.cCopyBytes = reg.Counter("backend.copy.bytes." + b.engine.String() + tag)
+	b.cFailovers = reg.Counter("backend.failovers" + tag)
 }
 
 // Rank exposes the attached physical rank (nil when detached).
@@ -119,12 +140,13 @@ func (b *Backend) Migrate(tl *simtime.Timeline) error {
 }
 
 // HandleControl processes controlq chains: manager synchronization
-// (rank attach).
+// (rank attach and detach).
 func (b *Backend) HandleControl(chain *virtio.Chain, tl *simtime.Timeline) error {
 	req, status, err := b.decode(chain)
 	if err != nil {
 		return err
 	}
+	defer b.recordVMMSpan(req, chain, tl.Now())(tl)
 	switch req.Op {
 	case virtio.OpAttach:
 		if b.rank == nil {
@@ -137,6 +159,7 @@ func (b *Backend) HandleControl(chain *virtio.Chain, tl *simtime.Timeline) error
 				}
 				// Oversubscription: fall back to the software simulator
 				// at reduced performance rather than failing the tenant.
+				b.cFailovers.Inc()
 				if serr := b.attachSimulated(); serr != nil {
 					b.writeStatus(status, virtio.StatusError)
 					return fmt.Errorf("attach %s (simulated): %w", b.id, serr)
@@ -147,9 +170,34 @@ func (b *Backend) HandleControl(chain *virtio.Chain, tl *simtime.Timeline) error
 		}
 		b.writeStatus(status, virtio.StatusOK)
 		return nil
+	case virtio.OpRelease:
+		// Frontend.Detach: hand the rank back without the transferq (the
+		// device may be mid-unwind and never become usable).
+		if b.rank != nil {
+			if err := b.handleRelease(tl); err != nil {
+				b.writeStatus(status, virtio.StatusError)
+				return fmt.Errorf("detach %s: %w", b.id, err)
+			}
+		}
+		b.writeStatus(status, virtio.StatusOK)
+		return nil
 	default:
 		b.writeStatus(status, virtio.StatusError)
 		return fmt.Errorf("backend: op %v not valid on controlq", req.Op)
+	}
+}
+
+// recordVMMSpan opens the backend hop of a request's journey; the returned
+// closure completes it. No-op when tracing is off.
+func (b *Backend) recordVMMSpan(req virtio.Request, chain *virtio.Chain, start simtime.Duration) func(tl *simtime.Timeline) {
+	if !b.rec.Enabled() {
+		return func(*simtime.Timeline) {}
+	}
+	return func(tl *simtime.Timeline) {
+		b.rec.Record(obs.Event{
+			Name: "vmm:" + req.Op.String(), Cat: "vmm", TID: obs.LaneVMM,
+			Req: chain.ReqID, Start: start, Dur: tl.Now() - start,
+		})
 	}
 }
 
@@ -163,6 +211,7 @@ func (b *Backend) HandleTransfer(chain *virtio.Chain, tl *simtime.Timeline) erro
 	if err != nil {
 		return err
 	}
+	defer b.recordVMMSpan(req, chain, tl.Now())(tl)
 	if b.rank == nil {
 		// The spec: the driver must not send requests while the device is
 		// not linked to a physical PIM device.
@@ -181,6 +230,7 @@ func (b *Backend) HandleTransfer(chain *virtio.Chain, tl *simtime.Timeline) erro
 				b.writeStatus(status, virtio.StatusError)
 				return fmt.Errorf("backend %s: %w", b.id, cerr)
 			}
+			b.cFailovers.Inc()
 			if serr := b.attachSimulated(); serr != nil {
 				b.writeStatus(status, virtio.StatusError)
 				return fmt.Errorf("backend %s failover: %w", b.id, serr)

@@ -3,9 +3,9 @@ package backend
 import (
 	"encoding/binary"
 	"fmt"
-	"time"
 
 	"repro/internal/hostmem"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/trace"
 	"repro/internal/virtio"
@@ -31,6 +31,7 @@ func (b *Backend) handleData(req virtio.Request, chain *virtio.Chain, tl *simtim
 	if err != nil {
 		return err
 	}
+	rankStart := tl.Now()
 	tl.Span(trace.StepTData, func(tl *simtime.Timeline) {
 		if req.Op == virtio.OpWriteRank && req.Offset == virtio.BatchSentinel {
 			err = b.applyBatch(rows, tl)
@@ -38,6 +39,12 @@ func (b *Backend) handleData(req virtio.Request, chain *virtio.Chain, tl *simtim
 			err = b.copyRows(req.Op, rows, tl)
 		}
 	})
+	if err == nil && b.rec.Enabled() {
+		b.rec.Record(obs.Event{
+			Name: "rank:" + req.Op.String(), Cat: "rank", TID: obs.LaneRank,
+			Req: chain.ReqID, Start: rankStart, Dur: tl.Now() - rankStart,
+		})
+	}
 	return err
 }
 
@@ -97,6 +104,8 @@ func (b *Backend) deserialize(chain *virtio.Chain, tl *simtime.Timeline) ([]row,
 		totalPages += len(pages)
 	}
 
+	b.cRows.Add(int64(nRows))
+	b.cPages.Add(int64(totalPages))
 	tl.Span(trace.StepDeser, func(tl *simtime.Timeline) {
 		tl.Advance(b.model.DeserializeDPU * simtime.Duration(nRows))
 		// GPA->HVA translation parallelized across the translation workers.
@@ -156,6 +165,7 @@ func (b *Backend) copyRows(op virtio.Op, rows []row, tl *simtime.Timeline) error
 			return err
 		}
 		sizes[i] = r.size
+		b.cCopyBytes.Add(int64(r.size))
 	}
 	tl.Advance(b.model.RankOpDuration(b.engine, sizes))
 	return nil
@@ -191,13 +201,14 @@ func (b *Backend) applyBatch(rows []row, tl *simtime.Timeline) error {
 			pos += (length + 7) &^ 7
 		}
 	}
+	b.cCopyBytes.Add(dataBytes)
 	// Records spread across the operation threads like regular rows.
 	threads := int64(b.model.OpThreads)
 	if threads < 1 {
 		threads = 1
 	}
 	perThreadRecords := (records + threads - 1) / threads
-	tl.Advance(time.Duration(perThreadRecords)*b.model.BatchRecord +
+	tl.Advance(simtime.Duration(perThreadRecords)*b.model.BatchRecord +
 		b.model.CopyDuration(b.engine, (dataBytes+threads-1)/threads))
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/manager"
 	"repro/internal/native"
+	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/prim"
 	"repro/internal/sdk"
@@ -96,6 +97,9 @@ type Result struct {
 	// Messages counts guest->VMM chains; Exits counts VMEXITs (0 native).
 	Messages int64
 	Exits    int64
+	// Counters is the VM's obs registry snapshot with per-device tags
+	// aggregated away (empty for native runs, which have no virtio path).
+	Counters map[string]int64
 }
 
 func capture(env sdk.Env) Result {
@@ -154,7 +158,48 @@ func (h *Harness) RunVM(opts vmm.Options, vcpus int, fn func(env sdk.Env) error)
 		res.Messages += f.Stats().Messages
 	}
 	res.Exits = vm.KVM().Exits()
+	res.Counters = obs.Aggregate(vm.Metrics())
 	return res, nil
+}
+
+// counterCols renders a result's counter snapshot as sorted name=value
+// pairs, printed next to each figure's numbers.
+func counterCols(r Result) string {
+	return obs.FormatSnapshot(r.Counters)
+}
+
+// TraceExport runs one PrIM workload on the fully-optimized vPIM variant
+// with span recording enabled and writes the Chrome trace-event JSON to w.
+// The export is deterministic: identical configurations produce
+// byte-identical files (the CI determinism smoke diff relies on this).
+func (h *Harness) TraceExport(w io.Writer, appName string) error {
+	if appName == "" {
+		appName = "VA"
+	}
+	app, err := prim.Lookup(appName)
+	if err != nil {
+		return err
+	}
+	mach, mgr, err := h.machine()
+	if err != nil {
+		return err
+	}
+	vm, err := vmm.NewVM(mach, mgr, vmm.Config{
+		Name:    "bench",
+		VCPUs:   16,
+		VUPMEMs: h.cfg.Ranks,
+		Options: vmm.Full(),
+	})
+	if err != nil {
+		return err
+	}
+	vm.EnableTracing()
+	p := prim.Params{DPUs: h.cfg.DPUsPerRank, Scale: h.cfg.Scale, Weak: h.cfg.Weak}
+	if err := app.Run(vm, p); err != nil {
+		return fmt.Errorf("trace %s: %w", appName, err)
+	}
+	_, err = w.Write(vm.TraceJSON())
+	return err
 }
 
 func (h *Harness) printf(format string, args ...any) {

@@ -2,9 +2,11 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"repro/internal/prim"
 	"repro/internal/sdk"
 	"repro/internal/upmem"
 	"repro/internal/vmm"
@@ -131,5 +133,71 @@ func TestFig16Staircase(t *testing.T) {
 		if f != l {
 			t.Errorf("parallel per-rank latencies must be flat: %q vs %q", parFirst, parLast)
 		}
+	}
+}
+
+// TestTraceReconcilesWithTracker runs one PrIM workload on the vPIM variant
+// with span recording on and checks that the exported spans account for
+// exactly the virtual time the tracker attributed to every phase/op/step
+// category — the invariant that makes the Chrome trace trustworthy.
+func TestTraceReconcilesWithTracker(t *testing.T) {
+	var buf bytes.Buffer
+	h := smallHarness(&buf)
+	mach, mgr, err := h.machine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := vmm.NewVM(mach, mgr, vmm.Config{Name: "rec", VUPMEMs: 2, Options: vmm.Full()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.EnableTracing()
+	app, err := prim.Lookup("VA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Run(vm, prim.Params{DPUs: 8, Scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	totals := vm.Recorder().CategoryTotals()
+	snap := vm.Tracker().Snapshot()
+	for cat, d := range snap {
+		if d > 0 && totals[cat] != d {
+			t.Errorf("category %s: trace spans total %v, tracker %v", cat, totals[cat], d)
+		}
+	}
+	for cat, d := range totals {
+		if snap[cat] != d {
+			t.Errorf("category %s: trace spans total %v not in tracker (%v)", cat, d, snap[cat])
+		}
+	}
+	var export struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(vm.TraceJSON(), &export); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(export.TraceEvents) == 0 {
+		t.Error("trace export is empty")
+	}
+}
+
+// TestTraceExportDeterministic: two identical runs must export byte-identical
+// traces (the CI smoke job diffs two fresh processes the same way).
+func TestTraceExportDeterministic(t *testing.T) {
+	export := func() []byte {
+		var out bytes.Buffer
+		h := smallHarness(&bytes.Buffer{})
+		if err := h.TraceExport(&out, "VA"); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identical runs exported different traces (%d vs %d bytes)", len(a), len(b))
+	}
+	if !json.Valid(a) {
+		t.Error("export is not valid JSON")
 	}
 }

@@ -52,6 +52,7 @@ func (h *Harness) Fig8(apps []string) error {
 				name, dpus, ms(nat.Total), ms(vp.Total), ratio(vp.Total, nat.Total))
 			h.printf("fig8.phases app=%s dpus=%d env=native %s\n", name, dpus, phaseCols(nat))
 			h.printf("fig8.phases app=%s dpus=%d env=vpim   %s\n", name, dpus, phaseCols(vp))
+			h.printf("fig8.counters app=%s dpus=%d %s\n", name, dpus, counterCols(vp))
 		}
 	}
 	return nil
@@ -187,6 +188,7 @@ func (h *Harness) Fig12() error {
 		}
 		h.printf("fig12 variant=%s ci=%sms r-rank=%sms w-rank=%sms\n",
 			variant, ms(vp.Ops[trace.OpCI]), ms(vp.Ops[trace.OpReadRank]), ms(vp.Ops[trace.OpWriteRank]))
+		h.printf("fig12.counters variant=%s %s\n", variant, counterCols(vp))
 	}
 	return nil
 }
@@ -208,6 +210,7 @@ func (h *Harness) Fig13() error {
 		h.printf("fig13 variant=%s page=%sms deser=%sms int=%sms ser=%sms t-data=%sms\n",
 			variant, ms(vp.Steps[trace.StepPage]), ms(vp.Steps[trace.StepDeser]),
 			ms(vp.Steps[trace.StepInt]), ms(vp.Steps[trace.StepSer]), ms(vp.Steps[trace.StepTData]))
+		h.printf("fig13.counters variant=%s %s\n", variant, counterCols(vp))
 	}
 	return nil
 }
@@ -242,6 +245,7 @@ func (h *Harness) Fig14() error {
 		h.printf("fig14 variant=%s total=%sms perf-inc=%s overhead-vs-native=%s msgs=%d %s\n",
 			variant, ms(vp.Total), ratio(base, vp.Total), ratio(vp.Total, nat.Total),
 			vp.Messages, phaseCols(vp))
+		h.printf("fig14.counters variant=%s %s\n", variant, counterCols(vp))
 	}
 	return nil
 }

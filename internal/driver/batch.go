@@ -46,10 +46,20 @@ func (b *batchBuffer) capacity() int { return len(b.bufs[0].Data) }
 func pad8(n int) int { return (n + 7) &^ 7 }
 
 // batchAppend stages each entry's small write into its DPU's batch buffer,
-// flushing first when a buffer would overflow.
+// flushing first when a buffer would overflow. A write whose packed record
+// cannot fit even an empty buffer must not be staged — the copy below would
+// silently clip the payload and corrupt MRAM — so it is routed to the
+// unbatched matrix path instead (after a flush, preserving write order).
 func (f *Frontend) batchAppend(entries []sdk.DPUXfer, off int64, length int, tl *simtime.Timeline) error {
 	b := f.batch
 	need := batchRecordHeader + pad8(length)
+	if need > b.capacity() {
+		f.cBatchFallbacks.Inc()
+		if err := f.flushBatch(tl); err != nil {
+			return err
+		}
+		return f.sendMatrix(virtio.OpWriteRank, entries, off, length, tl)
+	}
 	for _, e := range entries {
 		if e.DPU < 0 || e.DPU >= len(b.bufs) {
 			return fmt.Errorf("driver: DPU %d outside batch of %d", e.DPU, len(b.bufs))
@@ -65,7 +75,7 @@ func (f *Frontend) batchAppend(entries []sdk.DPUXfer, off int64, length int, tl 
 		copy(dst[batchRecordHeader:], e.Buf.Data[:length])
 		b.used[e.DPU] += need
 		b.records++
-		f.stats.BatchedWrites++
+		f.cBatchAppends.Inc()
 		tl.Advance(f.model.BatchAppend + f.model.CopyDuration(cost.EngineC, int64(length)))
 	}
 	return nil
@@ -92,6 +102,6 @@ func (f *Frontend) flushBatch(tl *simtime.Timeline) error {
 		b.used[d] = 0
 	}
 	b.records = 0
-	f.stats.BatchFlushes++
+	f.cBatchFlushes.Inc()
 	return nil
 }

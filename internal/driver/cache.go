@@ -76,7 +76,7 @@ func (f *Frontend) readViaCache(entries []sdk.DPUXfer, off int64, length int, tl
 			return fmt.Errorf("driver: DPU %d outside cache of %d", e.DPU, len(c.bufs))
 		}
 		if c.hit(e.DPU, off, length) {
-			f.stats.CacheHits++
+			f.cCacheHits.Inc()
 			continue
 		}
 		fetch := int64(c.size)
@@ -101,7 +101,7 @@ func (f *Frontend) readViaCache(entries []sdk.DPUXfer, off int64, length int, tl
 			c.start[row.dpu] = off
 			c.winLen[row.dpu] = row.size
 			c.valid[row.dpu] = true
-			f.stats.CacheFills++
+			f.cCacheMisses.Inc()
 		}
 	}
 	// Serve every DPU from the cache window.

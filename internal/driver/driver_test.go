@@ -251,3 +251,45 @@ func TestReleaseDetaches(t *testing.T) {
 		t.Error("backend must drop the rank")
 	}
 }
+
+// TestBatchOversizedWriteFallsBack: a write whose packed record exceeds an
+// empty batch buffer must ride the unbatched matrix path. Before the fix the
+// staging copy silently clipped the payload to the buffer, corrupting MRAM.
+func TestBatchOversizedWriteFallsBack(t *testing.T) {
+	vm, front, set := stack(t, vmm.Options{
+		Batch: true,
+		// One-page buffers under a larger batching threshold so an
+		// oversized write passes the threshold check and reaches staging.
+		Driver: driver.Options{BatchPages: 1, BatchThreshold: 16 << 10},
+	})
+	capacity := 1 * hostmem.PageSize
+	small := mkBuf(t, vm, 256, 0x5a)
+	if err := set.CopyToMRAM(0, 8192, small, 256); err != nil {
+		t.Fatal(err)
+	}
+	big := mkBuf(t, vm, capacity+8, 0xa5)
+	if err := set.CopyToMRAM(0, 0, big, capacity+8); err != nil {
+		t.Fatal(err)
+	}
+	st := front.Stats()
+	if st.BatchFallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", st.BatchFallbacks)
+	}
+	if st.BatchedWrites != 1 {
+		t.Errorf("batched writes = %d, want 1 (the small write only)", st.BatchedWrites)
+	}
+	out := mkBuf(t, vm, capacity+8, 0)
+	if err := set.CopyFromMRAM(0, 0, out, capacity+8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Data, big.Data) {
+		t.Error("oversized write read back corrupted")
+	}
+	outSmall := mkBuf(t, vm, 256, 0)
+	if err := set.CopyFromMRAM(0, 8192, outSmall, 256); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(outSmall.Data, small.Data) {
+		t.Error("staged small write lost across the fallback flush")
+	}
+}

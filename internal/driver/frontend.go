@@ -14,6 +14,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/hostmem"
 	"repro/internal/kvm"
+	"repro/internal/obs"
 	"repro/internal/sdk"
 	"repro/internal/simtime"
 	"repro/internal/virtio"
@@ -92,20 +93,33 @@ type Frontend struct {
 	// has run (cleared by LoadProgram).
 	booted bool
 
-	stats Stats
+	// Registry-backed counters (Stats() is the compatibility view). New
+	// binds them into a private registry so a standalone frontend still
+	// counts; the VMM rebinds them into the per-VM registry via SetObs.
+	rec             *obs.Recorder
+	cMessages       *obs.Counter
+	cCacheHits      *obs.Counter
+	cCacheMisses    *obs.Counter
+	cBatchAppends   *obs.Counter
+	cBatchFlushes   *obs.Counter
+	cBatchFallbacks *obs.Counter
 }
 
 // Stats counts frontend activity for the evaluation harness.
 type Stats struct {
 	// Messages is the number of guest->VMM request chains sent.
 	Messages int64
-	// CacheHits and CacheFills count prefetch cache activity.
+	// CacheHits and CacheFills count prefetch cache activity (every miss
+	// triggers a window fill, so CacheFills doubles as the miss count).
 	CacheHits  int64
 	CacheFills int64
 	// BatchedWrites counts writes absorbed into the batch buffer;
-	// BatchFlushes counts the messages that carried them.
-	BatchedWrites int64
-	BatchFlushes  int64
+	// BatchFlushes counts the messages that carried them; BatchFallbacks
+	// counts writes under the batch threshold whose packed record would
+	// not fit the batch buffer and were shipped unbatched instead.
+	BatchedWrites  int64
+	BatchFlushes   int64
+	BatchFallbacks int64
 }
 
 var _ sdk.Device = (*Frontend)(nil)
@@ -114,7 +128,7 @@ var _ sdk.Device = (*Frontend)(nil)
 // the VM's hypervisor transition layer, and tq/cq the device's transferq and
 // controlq. The backend must already be wired as the queues' handler.
 func New(id string, mem *hostmem.Memory, path *kvm.Path, tq, cq *virtio.Queue, model cost.Model, opts Options) *Frontend {
-	return &Frontend{
+	f := &Frontend{
 		id:    id,
 		mem:   mem,
 		path:  path,
@@ -123,13 +137,39 @@ func New(id string, mem *hostmem.Memory, path *kvm.Path, tq, cq *virtio.Queue, m
 		model: model,
 		opts:  opts.withDefaults(),
 	}
+	f.SetObs(obs.NewRegistry(), nil)
+	return f
+}
+
+// SetObs rebinds the frontend's counters into reg (tagged with the device
+// ID so per-device values survive aggregation) and attaches the VM's span
+// recorder. The VMM calls this during device realization to pool every
+// layer into one per-VM registry.
+func (f *Frontend) SetObs(reg *obs.Registry, rec *obs.Recorder) {
+	tag := "#" + f.id
+	f.rec = rec
+	f.cMessages = reg.Counter("frontend.messages" + tag)
+	f.cCacheHits = reg.Counter("frontend.cache.hits" + tag)
+	f.cCacheMisses = reg.Counter("frontend.cache.misses" + tag)
+	f.cBatchAppends = reg.Counter("frontend.batch.appends" + tag)
+	f.cBatchFlushes = reg.Counter("frontend.batch.flushes" + tag)
+	f.cBatchFallbacks = reg.Counter("frontend.batch.fallbacks" + tag)
 }
 
 // ID reports the device identifier (used as the manager owner string).
 func (f *Frontend) ID() string { return f.id }
 
 // Stats returns a snapshot of the frontend counters.
-func (f *Frontend) Stats() Stats { return f.stats }
+func (f *Frontend) Stats() Stats {
+	return Stats{
+		Messages:       f.cMessages.Load(),
+		CacheHits:      f.cCacheHits.Load(),
+		CacheFills:     f.cCacheMisses.Load(),
+		BatchedWrites:  f.cBatchAppends.Load(),
+		BatchFlushes:   f.cBatchFlushes.Load(),
+		BatchFallbacks: f.cBatchFallbacks.Load(),
+	}
+}
 
 // Attached reports whether a physical rank is currently linked.
 func (f *Frontend) Attached() bool { return f.attached }
@@ -156,12 +196,18 @@ func (f *Frontend) send(req virtio.Request, extra []virtio.Desc, tl *simtime.Tim
 	descs = append(descs, extra...)
 	descs = append(descs, virtio.Desc{GPA: f.statusBuf.GPA, Len: uint32(len(f.statusBuf.Data)), Writable: true})
 
-	f.stats.Messages++
+	f.cMessages.Inc()
+	reqID := f.rec.NextRequestID()
+	start := tl.Now()
 	f.path.GuestToVMM(tl)
-	if err := f.tq.Submit(&virtio.Chain{Descs: descs}, tl); err != nil {
+	if err := f.tq.Submit(&virtio.Chain{Descs: descs, ReqID: reqID}, tl); err != nil {
 		return nil, err
 	}
 	f.path.VMMToGuest(tl)
+	f.rec.Record(obs.Event{
+		Name: req.Op.String(), Cat: "guest", TID: obs.LaneGuest,
+		Req: reqID, Start: start, Dur: tl.Now() - start,
+	})
 
 	status, err := virtio.GetU64(f.statusBuf.Data, 0)
 	if err != nil {
@@ -191,26 +237,8 @@ func (f *Frontend) Attach(tl *simtime.Timeline) error {
 	}
 	// Rank attachment goes through the controlq: it synchronizes with the
 	// manager rather than moving data.
-	f.stats.Messages++
-	var hdr [64]byte
-	req := virtio.Request{Op: virtio.OpAttach}
-	n, err := req.Encode(hdr[:])
-	if err != nil {
+	if err := f.controlRoundTrip(virtio.OpAttach, tl); err != nil {
 		return err
-	}
-	copy(f.hdrBuf.Data, hdr[:n])
-	f.path.GuestToVMM(tl)
-	if err := f.cq.Submit(&virtio.Chain{Descs: []virtio.Desc{
-		{GPA: f.hdrBuf.GPA, Len: uint32(n)},
-		{GPA: f.statusBuf.GPA, Len: uint32(len(f.statusBuf.Data)), Writable: true},
-	}}, tl); err != nil {
-		return err
-	}
-	f.path.VMMToGuest(tl)
-	if status, err := virtio.GetU64(f.statusBuf.Data, 0); err != nil {
-		return err
-	} else if uint32(status) != virtio.StatusOK {
-		return fmt.Errorf("%w: attach", ErrDeviceError)
 	}
 
 	// Configuration request over the transferq.
@@ -286,6 +314,59 @@ func (f *Frontend) MemoryOverheadBytes() int64 {
 		total += int64(f.opts.BatchPages) * hostmem.PageSize
 	}
 	return total
+}
+
+// controlRoundTrip sends one payload-less request over the controlq and
+// checks the status word: the manager-synchronization message shape used by
+// attach and detach.
+func (f *Frontend) controlRoundTrip(op virtio.Op, tl *simtime.Timeline) error {
+	f.cMessages.Inc()
+	var hdr [64]byte
+	req := virtio.Request{Op: op}
+	n, err := req.Encode(hdr[:])
+	if err != nil {
+		return err
+	}
+	copy(f.hdrBuf.Data, hdr[:n])
+	reqID := f.rec.NextRequestID()
+	start := tl.Now()
+	f.path.GuestToVMM(tl)
+	if err := f.cq.Submit(&virtio.Chain{Descs: []virtio.Desc{
+		{GPA: f.hdrBuf.GPA, Len: uint32(n)},
+		{GPA: f.statusBuf.GPA, Len: uint32(len(f.statusBuf.Data)), Writable: true},
+	}, ReqID: reqID}, tl); err != nil {
+		return err
+	}
+	f.path.VMMToGuest(tl)
+	f.rec.Record(obs.Event{
+		Name: op.String(), Cat: "guest", TID: obs.LaneGuest,
+		Req: reqID, Start: start, Dur: tl.Now() - start,
+	})
+	if status, err := virtio.GetU64(f.statusBuf.Data, 0); err != nil {
+		return err
+	} else if uint32(status) != virtio.StatusOK {
+		return fmt.Errorf("%w: %v", ErrDeviceError, op)
+	}
+	return nil
+}
+
+// Detach unlinks the physical rank through the controlq — the inverse of
+// Attach's manager synchronization, used by the VMM to unwind a
+// partially-booked allocation so the manager gets its ranks back. Unlike
+// Release it does not require the device to stay usable afterwards.
+func (f *Frontend) Detach(tl *simtime.Timeline) error {
+	if !f.attached {
+		return nil
+	}
+	if err := f.flushBatch(tl); err != nil {
+		return err
+	}
+	f.cache.invalidate()
+	if err := f.controlRoundTrip(virtio.OpRelease, tl); err != nil {
+		return err
+	}
+	f.attached = false
+	return nil
 }
 
 func (f *Frontend) ensureAttached(tl *simtime.Timeline) error {

@@ -2,7 +2,6 @@ package driver
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/pim"
 
@@ -23,8 +22,9 @@ func (f *Frontend) WriteRank(entries []sdk.DPUXfer, off int64, length int, tl *s
 		}
 		// Any write invalidates the prefetch cache (Section 4.1).
 		f.cache.invalidate()
-		if f.batch != nil && length <= f.opts.BatchThreshold &&
-			length+batchRecordHeader <= f.batch.capacity() {
+		// The threshold is policy; fitting the batch buffer is batchAppend's
+		// responsibility (oversized records fall back to the matrix path).
+		if f.batch != nil && length <= f.opts.BatchThreshold {
 			err = f.batchAppend(entries, off, length, tl)
 			return
 		}
@@ -188,9 +188,9 @@ func (f *Frontend) Launch(dpus []int, tl *simtime.Timeline) error {
 		f.booted = true
 	}
 	f.path.AddRoundTrips(boot)
-	f.stats.Messages += boot
+	f.cMessages.Add(boot)
 	tl.Charge(trace.OpCI,
-		time.Duration(boot)*(f.model.MessageRoundTrip()+f.model.CIOperation))
+		simtime.Duration(boot)*(f.model.MessageRoundTrip()+f.model.CIOperation))
 
 	var err error
 	tl.Span(trace.OpCI, func(tl *simtime.Timeline) {
@@ -245,9 +245,9 @@ func (f *Frontend) LaunchStart(dpus []int, tl *simtime.Timeline) (simtime.Durati
 		f.booted = true
 	}
 	f.path.AddRoundTrips(boot)
-	f.stats.Messages += boot
+	f.cMessages.Add(boot)
 	tl.Charge(trace.OpCI,
-		time.Duration(boot)*(f.model.MessageRoundTrip()+f.model.CIOperation))
+		simtime.Duration(boot)*(f.model.MessageRoundTrip()+f.model.CIOperation))
 
 	var completion simtime.Duration
 	var err error

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/trace"
 )
@@ -22,6 +23,12 @@ type Path struct {
 	model cost.Model
 	exits atomic.Int64
 	irqs  atomic.Int64
+
+	// Per-reason exit counters (nil until SetObs): virtqueue notifications
+	// vs. aggregated CI-boot round trips.
+	cNotify     *obs.Counter
+	cAggregated *obs.Counter
+	cIRQs       *obs.Counter
 }
 
 // NewPath creates the transition layer with the given cost model.
@@ -29,16 +36,28 @@ func NewPath(model cost.Model) *Path {
 	return &Path{model: model}
 }
 
+// SetObs registers the path's per-reason exit counters in reg:
+// "kvm.exits.notify" (one per virtqueue notification trap),
+// "kvm.exits.aggregated" (CI-boot round trips accounted in bulk) and
+// "kvm.irqs" (completion interrupts injected into the guest).
+func (p *Path) SetObs(reg *obs.Registry) {
+	p.cNotify = reg.Counter("kvm.exits.notify")
+	p.cAggregated = reg.Counter("kvm.exits.aggregated")
+	p.cIRQs = reg.Counter("kvm.irqs")
+}
+
 // GuestToVMM charges one virtqueue notification: VMEXIT plus the VMM's event
 // dispatch. Recorded under the virtio-interrupt step of Fig. 13.
 func (p *Path) GuestToVMM(tl *simtime.Timeline) {
 	p.exits.Add(1)
+	p.cNotify.Inc()
 	tl.Charge(trace.StepInt, p.model.TrapToVMM+p.model.EventDispatch)
 }
 
 // VMMToGuest charges the completion IRQ injection and guest driver wakeup.
 func (p *Path) VMMToGuest(tl *simtime.Timeline) {
 	p.irqs.Add(1)
+	p.cIRQs.Inc()
 	tl.Charge(trace.StepInt, p.model.IRQInject)
 }
 
@@ -49,6 +68,8 @@ func (p *Path) VMMToGuest(tl *simtime.Timeline) {
 func (p *Path) AddRoundTrips(n int64) {
 	p.exits.Add(n)
 	p.irqs.Add(n)
+	p.cAggregated.Add(n)
+	p.cIRQs.Add(n)
 }
 
 // Exits reports the number of VMEXITs so far.

@@ -21,9 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pim"
 )
 
@@ -171,9 +171,14 @@ type Manager struct {
 	closed  bool
 	fault   *FaultPolicy
 
-	allocs atomic.Int64
-	resets atomic.Int64
-	faults atomic.Int64
+	// Registry-backed counters; the METRICS socket verb snapshots reg.
+	reg          *obs.Registry
+	cGranted     *obs.Counter
+	cParked      *obs.Counter
+	cTimedout    *obs.Counter
+	cReleases    *obs.Counter
+	cResets      *obs.Counter
+	cQuarantines *obs.Counter
 }
 
 // New builds a manager over the machine's ranks; all start NAAV.
@@ -183,11 +188,24 @@ func New(machine *pim.Machine, opts Options) *Manager {
 	for i, r := range ranks {
 		entries[i] = entry{rank: r, state: StateNAAV}
 	}
+	reg := obs.NewRegistry()
 	return &Manager{
 		opts:         opts.withDefaults(),
 		allocLatency: machine.Model().ManagerAllocLatency,
 		entries:      entries,
+		reg:          reg,
+		cGranted:     reg.Counter("manager.allocs.granted"),
+		cParked:      reg.Counter("manager.allocs.parked"),
+		cTimedout:    reg.Counter("manager.allocs.timedout"),
+		cReleases:    reg.Counter("manager.releases"),
+		cResets:      reg.Counter("manager.resets"),
+		cQuarantines: reg.Counter("manager.quarantines"),
 	}
+}
+
+// Metrics snapshots the manager's counters (the METRICS socket verb).
+func (m *Manager) Metrics() map[string]int64 {
+	return m.reg.Snapshot()
 }
 
 // SetFaultPolicy installs (or, with nil, removes) the fault-injection hooks.
@@ -232,6 +250,7 @@ func (m *Manager) alloc(owner string, hooks allocHooks) (*pim.Rank, time.Duratio
 	}
 	w := &waiter{owner: owner, ready: make(chan grant, 1)}
 	m.waiters = append(m.waiters, w)
+	m.cParked.Inc()
 	m.mu.Unlock()
 
 	if hooks.park != nil {
@@ -266,6 +285,7 @@ func (m *Manager) alloc(owner string, hooks allocHooks) (*pim.Rank, time.Duratio
 				removed := m.removeWaiterLocked(w)
 				m.mu.Unlock()
 				if removed {
+					m.cTimedout.Inc()
 					unpark()
 					return nil, waited, ErrNoRanks
 				}
@@ -296,7 +316,7 @@ func (m *Manager) tryGrantLocked(owner string) (grant, bool) {
 		if e.state == StateNANA && e.prevOwner == owner && m.usableLocked(e) {
 			e.state = StateALLO
 			e.owner = owner
-			m.allocs.Add(1)
+			m.cGranted.Inc()
 			return grant{rank: e.rank}, true
 		}
 	}
@@ -309,7 +329,7 @@ func (m *Manager) tryGrantLocked(owner string) (grant, bool) {
 			e.state = StateALLO
 			e.owner = owner
 			m.rrNext = (i + 1) % n
-			m.allocs.Add(1)
+			m.cGranted.Inc()
 			return grant{rank: e.rank}, true
 		}
 	}
@@ -322,7 +342,7 @@ func (m *Manager) tryGrantLocked(owner string) (grant, bool) {
 			}
 			e.state = StateALLO
 			e.owner = owner
-			m.allocs.Add(1)
+			m.cGranted.Inc()
 			return grant{rank: e.rank, extra: e.rank.ResetDuration()}, true
 		}
 	}
@@ -372,7 +392,7 @@ func (m *Manager) resetLocked(e *entry) bool {
 		return false
 	}
 	e.rank.Reset()
-	m.resets.Add(1)
+	m.cResets.Inc()
 	return true
 }
 
@@ -380,7 +400,7 @@ func (m *Manager) quarantineLocked(e *entry) {
 	e.state = StateQUAR
 	e.owner = ""
 	e.prevOwner = ""
-	m.faults.Add(1)
+	m.cQuarantines.Inc()
 }
 
 // Release returns a rank to the manager. In the real system the VM does not
@@ -405,6 +425,7 @@ func (m *Manager) Release(r *pim.Rank) error {
 			e.state = StateNANA
 			e.prevOwner = e.owner
 			e.owner = ""
+			m.cReleases.Inc()
 			m.grantWaitersLocked()
 			return nil
 		}
@@ -456,7 +477,7 @@ func (m *Manager) RetryQuarantined() int {
 			continue
 		}
 		e.rank.Reset()
-		m.resets.Add(1)
+		m.cResets.Inc()
 		e.state = StateNAAV
 		revived++
 	}
@@ -614,11 +635,11 @@ func (m *Manager) Quarantined() []int {
 }
 
 // Allocations reports how many allocations have been served.
-func (m *Manager) Allocations() int64 { return m.allocs.Load() }
+func (m *Manager) Allocations() int64 { return m.cGranted.Load() }
 
 // Resets reports how many rank resets have been performed.
-func (m *Manager) Resets() int64 { return m.resets.Load() }
+func (m *Manager) Resets() int64 { return m.cResets.Load() }
 
 // Faults reports how many rank faults (failed resets, rank deaths) the
 // manager has absorbed by quarantining.
-func (m *Manager) Faults() int64 { return m.faults.Load() }
+func (m *Manager) Faults() int64 { return m.cQuarantines.Load() }

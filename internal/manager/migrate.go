@@ -75,7 +75,7 @@ func (m *Manager) Migrate(from *pim.Rank) (*pim.Rank, time.Duration, error) {
 	src.state = StateNANA
 	src.prevOwner = src.owner
 	src.owner = ""
-	m.allocs.Add(1)
+	m.cGranted.Inc()
 	// The source rank just became reclaimable: serve any queued request.
 	m.grantWaitersLocked()
 	return dst.rank, extra + ckDur + rsDur, nil

@@ -16,7 +16,7 @@ import (
 
 // Request is one client message.
 type Request struct {
-	// Op is "alloc", "release" or "states".
+	// Op is "alloc", "release", "states" or "metrics".
 	Op string `json:"op"`
 	// Owner identifies the requesting vUPMEM device for "alloc".
 	Owner string `json:"owner,omitempty"`
@@ -26,11 +26,12 @@ type Request struct {
 
 // Response is one server message.
 type Response struct {
-	OK        bool     `json:"ok"`
-	Error     string   `json:"error,omitempty"`
-	Rank      int      `json:"rank,omitempty"`
-	LatencyNS int64    `json:"latencyNs,omitempty"`
-	States    []string `json:"states,omitempty"`
+	OK        bool             `json:"ok"`
+	Error     string           `json:"error,omitempty"`
+	Rank      int              `json:"rank,omitempty"`
+	LatencyNS int64            `json:"latencyNs,omitempty"`
+	States    []string         `json:"states,omitempty"`
+	Metrics   map[string]int64 `json:"metrics,omitempty"`
 }
 
 // Server exposes a Manager over a listener. The prototype's thread pool
@@ -177,6 +178,8 @@ func (s *Server) dispatch(req Request) Response {
 			out[i] = st.String()
 		}
 		return Response{OK: true, States: out}
+	case "metrics":
+		return Response{OK: true, Metrics: s.mgr.Metrics()}
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -259,4 +262,16 @@ func (c *Client) States() ([]string, error) {
 		return nil, errors.New(resp.Error)
 	}
 	return resp.States, nil
+}
+
+// Metrics fetches the daemon's counter snapshot.
+func (c *Client) Metrics() (map[string]int64, error) {
+	resp, err := c.roundTrip(Request{Op: "metrics"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	return resp.Metrics, nil
 }

@@ -6,7 +6,6 @@ package native
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/cost"
 	"repro/internal/pim"
@@ -162,7 +161,7 @@ func (d *Device) Launch(dpus []int, tl *simtime.Timeline) error {
 	boot := launchCIOps(d.model, d.booted)
 	d.booted = true
 	d.rank.CIOps(boot)
-	tl.Charge(trace.OpCI, d.model.LaunchFixed+time.Duration(boot)*d.model.CIOperation)
+	tl.Charge(trace.OpCI, d.model.LaunchFixed+simtime.Duration(boot)*d.model.CIOperation)
 	pollAndWait(tl, res.Duration, d.model.LaunchPollInterval, d.model.CIOperation, d.rank)
 	return nil
 }
@@ -196,7 +195,7 @@ func (d *Device) LaunchStart(dpus []int, tl *simtime.Timeline) (simtime.Duration
 	boot := launchCIOps(d.model, d.booted)
 	d.booted = true
 	d.rank.CIOps(boot)
-	tl.Charge(trace.OpCI, d.model.LaunchFixed+time.Duration(boot)*d.model.CIOperation)
+	tl.Charge(trace.OpCI, d.model.LaunchFixed+simtime.Duration(boot)*d.model.CIOperation)
 	return tl.Now() + res.Duration, nil
 }
 

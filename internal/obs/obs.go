@@ -1,0 +1,162 @@
+// Package obs is the deterministic observability layer of the vPIM stack:
+// a registry of named monotonic counters wired into every layer (frontend,
+// virtqueue, backend, kvm transition path, manager) and a span recorder
+// that threads a request ID through one operation's whole journey —
+// SDK → driver → virtqueue → backend → rank — exportable as Chrome
+// trace-event JSON.
+//
+// Everything is driven by the virtual clock and plain atomic counters, so
+// two identical runs produce byte-identical exports: counter snapshots are
+// rendered with sorted keys, and span events are emitted in execution
+// order, which the simulation keeps deterministic (parallel sections run
+// sequentially in real time; see simtime.Par).
+//
+// Counter names are dot-separated paths; a per-device counter carries its
+// device tag after a '#' separator (e.g. "frontend.messages#vm/vupmem0"),
+// which Aggregate strips to merge devices into per-VM totals.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is one named monotonic counter. The zero value is ready to use;
+// a nil *Counter is a valid no-op sink so call sites never branch on
+// whether observability is wired.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative deltas are ignored: counters
+// are monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load reports the current value. Nil-safe (reports zero).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Registry is a set of named counters. All methods are safe for concurrent
+// use, and every method is nil-safe: a nil *Registry hands out nil
+// counters, which swallow updates.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use so wiring code never pre-declares a catalogue.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot copies every counter's current value.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// MarshalJSON renders the snapshot as a JSON object with keys sorted, so
+// two identical runs serialize byte-identically.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return SnapshotJSON(r.Snapshot()), nil
+}
+
+// SnapshotJSON renders a counter snapshot as deterministic JSON (sorted
+// keys). Counter names are restricted to printable ASCII by convention;
+// they are still escaped through %q for safety.
+func SnapshotJSON(snap map[string]int64) []byte {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%d", k, snap[k])
+	}
+	b.WriteByte('}')
+	return []byte(b.String())
+}
+
+// String renders the snapshot as "name=value" pairs sorted by name, for
+// logs and bench rows.
+func (r *Registry) String() string {
+	return FormatSnapshot(r.Snapshot())
+}
+
+// FormatSnapshot renders a snapshot as sorted "name=value" pairs.
+func FormatSnapshot(snap map[string]int64) string {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, snap[k])
+	}
+	return b.String()
+}
+
+// Aggregate merges per-device counters into totals: the device tag (the
+// '#' suffix of a counter name) is stripped and same-named counters are
+// summed. Untagged counters pass through unchanged.
+func Aggregate(snap map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(snap))
+	for name, v := range snap {
+		if i := strings.IndexByte(name, '#'); i >= 0 {
+			name = name[:i]
+		}
+		out[name] += v
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/simtime"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if got := c.Load(); got != 0 {
+		t.Fatalf("nil counter Load = %d, want 0", got)
+	}
+	var r *Registry
+	r.Counter("x").Inc()
+	if snap := r.Snapshot(); snap != nil {
+		t.Fatalf("nil registry Snapshot = %v, want nil", snap)
+	}
+}
+
+func TestRegistryCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Add(3)
+	r.Counter("a.b").Inc()
+	r.Counter("c").Add(-7) // monotonic: negative deltas ignored
+	snap := r.Snapshot()
+	if snap["a.b"] != 4 || snap["c"] != 0 {
+		t.Fatalf("snapshot = %v, want a.b=4 c=0", snap)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(1)
+	r.Counter("a.first").Add(2)
+	r.Counter("m.middle").Add(3)
+	got, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"a.first":2,"m.middle":3,"z.last":1}`
+	if string(got) != want {
+		t.Fatalf("json = %s, want %s", got, want)
+	}
+	var parsed map[string]int64
+	if err := json.Unmarshal(got, &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+}
+
+func TestAggregateStripsDeviceTags(t *testing.T) {
+	snap := map[string]int64{
+		"frontend.messages#vm/vupmem0": 3,
+		"frontend.messages#vm/vupmem1": 4,
+		"manager.allocs.granted":       2,
+	}
+	got := Aggregate(snap)
+	if got["frontend.messages"] != 7 || got["manager.allocs.granted"] != 2 {
+		t.Fatalf("aggregate = %v", got)
+	}
+}
+
+func TestRecorderDisabledByDefault(t *testing.T) {
+	r := NewRecorder()
+	if r.NextRequestID() != 0 {
+		t.Fatal("disabled recorder should hand out request ID 0")
+	}
+	r.Record(Event{Name: "x", Cat: "op", TID: LaneOp, Dur: time.Microsecond})
+	if len(r.Events()) != 0 {
+		t.Fatal("disabled recorder should drop events")
+	}
+	var nilRec *Recorder
+	nilRec.Enable()
+	nilRec.Record(Event{})
+	if nilRec.NextRequestID() != 0 || nilRec.Events() != nil {
+		t.Fatal("nil recorder should be a no-op sink")
+	}
+}
+
+func TestRecorderRequestIDs(t *testing.T) {
+	r := NewRecorder()
+	r.Enable()
+	if got := r.NextRequestID(); got != 1 {
+		t.Fatalf("first request ID = %d, want 1", got)
+	}
+	if got := r.NextRequestID(); got != 2 {
+		t.Fatalf("second request ID = %d, want 2", got)
+	}
+}
+
+// TestObserveSpanReconcilesWithTracker drives one timeline with both a
+// Tracker and a Recorder attached and checks the recorder's per-category
+// totals equal the tracker's — the invariant the trace export relies on.
+func TestObserveSpanReconcilesWithTracker(t *testing.T) {
+	tl := simtime.New()
+	tr := simtime.NewTracker()
+	tl.Attach(tr)
+	rec := NewRecorder()
+	rec.Enable()
+	tl.Observe(rec.ObserveSpan)
+
+	tl.Span("op:W-rank", func(tl *simtime.Timeline) {
+		tl.Charge("step:Ser", 3*time.Microsecond)
+		tl.Charge("step:Int", time.Microsecond)
+	})
+	tl.Charge("phase:DPU", 10*time.Microsecond)
+	tl.ParN(2, func(i int, tl *simtime.Timeline) {
+		tl.Charge("step:T-data", time.Duration(i+1)*time.Microsecond)
+	})
+	tl.Charge("op:CI", 0) // zero charges record nowhere
+
+	got := rec.CategoryTotals()
+	want := tr.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("category sets differ: recorder %v tracker %v", got, want)
+	}
+	for cat, d := range want {
+		if got[cat] != d {
+			t.Fatalf("category %s: recorder %v, tracker %v", cat, got[cat], d)
+		}
+	}
+}
+
+func TestChromeTraceJSONValidAndDeterministic(t *testing.T) {
+	build := func() []byte {
+		r := NewRecorder()
+		r.Enable()
+		req := r.NextRequestID()
+		r.Record(Event{Name: "W-rank", Cat: "guest", TID: LaneGuest, Req: req, Start: 0, Dur: 5 * time.Microsecond})
+		r.Record(Event{Name: "vmm:W-rank", Cat: "vmm", TID: LaneVMM, Req: req, Start: time.Microsecond, Dur: 3 * time.Microsecond})
+		r.ObserveSpan("op:W-rank", 0, 5*time.Microsecond)
+		return r.ChromeTraceJSON()
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical runs exported different traces")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+			Args map[string]any
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, a)
+	}
+	// 1 process_name + 6 thread_name metadata events + 3 spans.
+	if len(doc.TraceEvents) != 10 {
+		t.Fatalf("got %d events, want 10:\n%s", len(doc.TraceEvents), a)
+	}
+	last := doc.TraceEvents[len(doc.TraceEvents)-1]
+	if last.Name != "W-rank" || last.Ph != "X" || last.TID != LaneOp || last.Dur != 5 {
+		t.Fatalf("unexpected final event %+v", last)
+	}
+}

@@ -32,9 +32,17 @@ type Duration = time.Duration
 // A Timeline is not safe for concurrent use; parallel work must go through
 // Par, which gives every branch its own child Timeline.
 type Timeline struct {
-	now     time.Duration
-	tracker *Tracker
+	now      time.Duration
+	tracker  *Tracker
+	observer SpanObserver
 }
+
+// SpanObserver receives every interval a Timeline records into its Tracker:
+// one call per Span or Charge, with the virtual start and end instants.
+// Observers see exactly what the Tracker accumulates — same categories,
+// same durations — so an observer's per-category sums always reconcile
+// with the Tracker's totals.
+type SpanObserver func(category string, start, end Duration)
 
 // New returns a Timeline starting at instant zero.
 func New() *Timeline {
@@ -72,21 +80,38 @@ func (t *Timeline) Tracker() *Tracker {
 	return t.tracker
 }
 
+// Observe installs an observer notified of every Span/Charge interval.
+// Child timelines created by Par inherit the observer.
+func (t *Timeline) Observe(fn SpanObserver) {
+	t.observer = fn
+}
+
 // Span advances the timeline by running fn on it and records the elapsed
 // virtual time under category into the attached Tracker (if any).
 func (t *Timeline) Span(category string, fn func(tl *Timeline)) {
 	start := t.now
 	fn(t)
-	if t.tracker != nil {
-		t.tracker.Add(category, t.now-start)
+	if t.now > start {
+		if t.tracker != nil {
+			t.tracker.Add(category, t.now-start)
+		}
+		if t.observer != nil {
+			t.observer(category, start, t.now)
+		}
 	}
 }
 
 // Charge advances the timeline by d and records it under category.
 func (t *Timeline) Charge(category string, d time.Duration) {
+	if d <= 0 {
+		return
+	}
 	t.Advance(d)
 	if t.tracker != nil {
 		t.tracker.Add(category, d)
+	}
+	if t.observer != nil {
+		t.observer(category, t.now-d, t.now)
 	}
 }
 
@@ -97,7 +122,7 @@ func (t *Timeline) Charge(category string, d time.Duration) {
 func (t *Timeline) Par(branches ...func(tl *Timeline)) {
 	end := t.now
 	for _, branch := range branches {
-		child := &Timeline{now: t.now, tracker: t.tracker}
+		child := &Timeline{now: t.now, tracker: t.tracker, observer: t.observer}
 		branch(child)
 		if child.now > end {
 			end = child.now

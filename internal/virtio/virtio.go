@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/simtime"
 )
 
@@ -116,6 +117,11 @@ type Desc struct {
 // response buffer.
 type Chain struct {
 	Descs []Desc
+	// ReqID is host-side correlation metadata (not part of the wire
+	// format): the obs request ID the frontend allocated for this
+	// operation, threading one request's spans from the guest driver
+	// through the backend to the rank. Zero when tracing is off.
+	ReqID int64
 }
 
 // Handler processes one request chain on the device side, advancing the
@@ -128,6 +134,11 @@ type Queue struct {
 	size      int
 	handler   Handler
 	submitted atomic.Int64
+
+	// Observability counters (nil until SetObs; nil counters swallow
+	// updates, so an unobserved queue pays only a nil check).
+	cChains *obs.Counter
+	cDescs  *obs.Counter
 }
 
 // NewQueue creates a queue with the given descriptor capacity.
@@ -145,6 +156,13 @@ func (q *Queue) Size() int { return q.size }
 // this during device realization.
 func (q *Queue) SetHandler(h Handler) { q.handler = h }
 
+// SetObs registers the queue's counters ("virtio.<queue>.chains" and
+// "virtio.<queue>.descs", tagged with the device ID) in reg.
+func (q *Queue) SetObs(reg *obs.Registry, device string) {
+	q.cChains = reg.Counter("virtio." + q.name + ".chains#" + device)
+	q.cDescs = reg.Counter("virtio." + q.name + ".descs#" + device)
+}
+
 // Submitted reports how many chains have been pushed so far: the number of
 // guest->VMM messages, the quantity the paper identifies as the dominant
 // overhead source.
@@ -161,6 +179,8 @@ func (q *Queue) Submit(chain *Chain, tl *simtime.Timeline) error {
 		return ErrNoHandler
 	}
 	q.submitted.Add(1)
+	q.cChains.Inc()
+	q.cDescs.Add(int64(len(chain.Descs)))
 	return q.handler(chain, tl)
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/hostmem"
 	"repro/internal/kvm"
 	"repro/internal/manager"
+	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/sdk"
 	"repro/internal/simtime"
@@ -131,6 +132,9 @@ type VM struct {
 	fronts []*driver.Frontend
 	backs  []*backend.Backend
 
+	reg *obs.Registry
+	rec *obs.Recorder
+
 	bootTime simtime.Duration
 }
 
@@ -156,6 +160,12 @@ func NewVM(mach *pim.Machine, mgr *manager.Manager, cfg Config) (*VM, error) {
 	tracker := simtime.NewTracker()
 	tl := simtime.New()
 	tl.Attach(tracker)
+	// One registry and span recorder per VM: every layer of the virtio-pim
+	// path pools its counters here, and the recorder mirrors every tracked
+	// Span/Charge so trace exports reconcile with the tracker.
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder()
+	tl.Observe(rec.ObserveSpan)
 
 	vm := &VM{
 		cfg:     cfg,
@@ -166,7 +176,10 @@ func NewVM(mach *pim.Machine, mgr *manager.Manager, cfg Config) (*VM, error) {
 		loop:    backend.NewEventLoop(cfg.Options.Parallel, model),
 		tl:      tl,
 		tracker: tracker,
+		reg:     reg,
+		rec:     rec,
 	}
+	vm.path.SetObs(reg)
 
 	dopts := cfg.Options.Driver
 	dopts.Prefetch = cfg.Options.Prefetch
@@ -175,11 +188,15 @@ func NewVM(mach *pim.Machine, mgr *manager.Manager, cfg Config) (*VM, error) {
 		id := fmt.Sprintf("%s/vupmem%d", cfg.Name, i)
 		tq := virtio.NewQueue("transferq", virtio.TransferQueueSize)
 		cq := virtio.NewQueue("controlq", virtio.TransferQueueSize)
+		tq.SetObs(reg, id)
+		cq.SetObs(reg, id)
 		back := backend.New(id, mach, mgr, vm.mem, cfg.Options.Engine, vm.loop)
 		back.SetOversubscribe(cfg.Options.Oversubscribe)
+		back.SetObs(reg, rec)
 		tq.SetHandler(back.HandleTransfer)
 		cq.SetHandler(back.HandleControl)
 		front := driver.New(id, vm.mem, vm.path, tq, cq, model, dopts)
+		front.SetObs(reg, rec)
 		vm.backs = append(vm.backs, back)
 		vm.fronts = append(vm.fronts, front)
 		tl.Advance(model.BootPerDevice)
@@ -217,6 +234,24 @@ func (vm *VM) Backends() []*backend.Backend {
 // KVM exposes the transition layer (for exit counting).
 func (vm *VM) KVM() *kvm.Path { return vm.path }
 
+// Registry exposes the VM's counter registry.
+func (vm *VM) Registry() *obs.Registry { return vm.reg }
+
+// Metrics snapshots every counter of the VM's virtio-pim path.
+func (vm *VM) Metrics() map[string]int64 { return vm.reg.Snapshot() }
+
+// EnableTracing switches per-request span recording on (off by default;
+// the counters are always live).
+func (vm *VM) EnableTracing() { vm.rec.Enable() }
+
+// Recorder exposes the VM's span recorder.
+func (vm *VM) Recorder() *obs.Recorder { return vm.rec }
+
+// TraceJSON exports the recorded spans as Chrome trace-event JSON, loadable
+// in chrome://tracing or Perfetto. Deterministic: two identical runs export
+// byte-identical traces.
+func (vm *VM) TraceJSON() []byte { return vm.rec.ChromeTraceJSON() }
+
 // Memory exposes guest RAM (for tests).
 func (vm *VM) Memory() *hostmem.Memory { return vm.mem }
 
@@ -241,6 +276,7 @@ func (vm *VM) MigrateRank(device int) error {
 // last attach error is reported alongside so the tenant sees why.
 func (vm *VM) AllocSet(nrDPUs int) (*sdk.Set, error) {
 	var devs []sdk.Device
+	var attached []*driver.Frontend
 	var attachErr error
 	covered := 0
 	for _, f := range vm.fronts {
@@ -252,9 +288,19 @@ func (vm *VM) AllocSet(nrDPUs int) (*sdk.Set, error) {
 			continue
 		}
 		devs = append(devs, f)
+		attached = append(attached, f)
 		covered += f.NumDPUs()
 	}
 	if covered < nrDPUs {
+		// Unwind the partial booking: the already-attached devices hold
+		// ranks the manager still accounts to this VM; leaving them
+		// allocated would deadlock the tenant's retry against its own
+		// leaked ranks.
+		for _, f := range attached {
+			if derr := f.Detach(vm.tl); derr != nil && attachErr == nil {
+				attachErr = fmt.Errorf("detach %s: %w", f.ID(), derr)
+			}
+		}
 		if attachErr != nil {
 			return nil, fmt.Errorf("%w: want %d DPUs, vUPMEM devices provide %d (%v)",
 				sdk.ErrNotEnoughDPUs, nrDPUs, covered, attachErr)

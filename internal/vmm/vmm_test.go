@@ -304,3 +304,35 @@ func TestVariantOrdering(t *testing.T) {
 		t.Errorf("parallel multi-rank (%v) must beat sequential (%v)", par, seq)
 	}
 }
+
+// TestAllocSetFailureReleasesRanks: a booking that cannot cover the request
+// must unwind its partial attachments. Before the fix, AllocSet returned
+// ErrNotEnoughDPUs with the already-attached devices still holding their
+// ranks in ALLO — leaked capacity the tenant's own retry would then
+// deadlock against.
+func TestAllocSetFailureReleasesRanks(t *testing.T) {
+	mach, mgr := testStack(t, 2)
+	vm, err := NewVM(mach, mgr, Config{Name: "u", VUPMEMs: 2, Options: Full()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 ranks x 4 DPUs = 8 available; asking for 9 attaches both devices
+	// before the coverage check fails.
+	if _, err := vm.AllocSet(9); !errors.Is(err, sdk.ErrNotEnoughDPUs) {
+		t.Fatalf("AllocSet(9) = %v, want ErrNotEnoughDPUs", err)
+	}
+	for _, f := range vm.Frontends() {
+		if f.Attached() {
+			t.Errorf("%s still attached after failed booking", f.ID())
+		}
+	}
+	for i, st := range mgr.States() {
+		if st == manager.StateALLO {
+			t.Errorf("rank %d still ALLO after failed booking", i)
+		}
+	}
+	// The unwound capacity must be immediately bookable again.
+	if _, err := vm.AllocSet(8); err != nil {
+		t.Fatalf("retry after failed booking: %v", err)
+	}
+}

@@ -1,6 +1,9 @@
 package vpim
 
-import "repro/internal/trace"
+import (
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
 
 // Breakdown categories (re-exported from the trace layer).
 //
@@ -43,4 +46,31 @@ func Steps() []string {
 	out := make([]string, len(trace.Steps))
 	copy(out, trace.Steps)
 	return out
+}
+
+// Observability re-exports (the obs layer). Every VM pools one counter per
+// layer of the virtio-pim path in a MetricsRegistry, and can additionally
+// record per-request spans for Chrome trace export; see VM.Metrics,
+// VM.EnableTracing and VM.TraceJSON.
+type (
+	// MetricsRegistry is a set of named monotonic counters.
+	MetricsRegistry = obs.Registry
+	// MetricsCounter is one named monotonic counter.
+	MetricsCounter = obs.Counter
+	// TraceRecorder collects per-request spans on the virtual clock.
+	TraceRecorder = obs.Recorder
+	// TraceEvent is one recorded span.
+	TraceEvent = obs.Event
+)
+
+// AggregateMetrics sums per-device counters ("name#device") into untagged
+// per-name totals.
+func AggregateMetrics(snap map[string]int64) map[string]int64 {
+	return obs.Aggregate(snap)
+}
+
+// FormatMetrics renders a counter snapshot as deterministic, sorted
+// name=value pairs.
+func FormatMetrics(snap map[string]int64) string {
+	return obs.FormatSnapshot(snap)
 }
