@@ -45,6 +45,9 @@ func runChecksum(t *testing.T, h *bench.Harness, dpus, size int, opts vmm.Option
 // transfer size, staying within the paper's neighborhood (2.33x at the small
 // end, 1.29x at the large end).
 func TestCalibrationChecksumSizeTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the 60 MB/DPU point dominates the short-suite budget")
+	}
 	h := harness(t)
 	nat8, vp8 := runChecksum(t, h, 60, 8<<20, vpim.FullOptions())
 	nat60, vp60 := runChecksum(t, h, 60, 60<<20, vpim.FullOptions())

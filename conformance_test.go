@@ -1,0 +1,90 @@
+package vpim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/driver"
+	"repro/internal/prim"
+)
+
+// shortMatrixApps is the -short subset: the fastest PrIM applications,
+// chosen so the full configuration matrix over them finishes well inside a
+// minute while still covering every transfer style (bulk parallel push,
+// serial retrieve, small inter-DPU reads, many tiny transfers).
+var shortMatrixApps = []string{"RED", "SCAN-SSA", "SCAN-RSS", "SEL", "UNI", "MLP", "TRNS", "HST-S"}
+
+func matrixApps(t *testing.T) []prim.App {
+	t.Helper()
+	if !testing.Short() && !raceEnabled {
+		return prim.Apps()
+	}
+	apps := make([]prim.App, 0, len(shortMatrixApps))
+	for _, n := range shortMatrixApps {
+		app, err := prim.Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, app)
+	}
+	return apps
+}
+
+// TestConformanceMatrix runs the PrIM suite through every configuration of
+// the conformance matrix (native reference, all Table 2 variants, both
+// copy engines, vhost, parallel on/off, multi-VM oversubscription) and
+// asserts bit-exact output agreement plus the counter and virtual-clock
+// invariants.
+func TestConformanceMatrix(t *testing.T) {
+	if err := conformance.RunMatrix(matrixApps(t), t.Logf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosSeedsReplayable runs each chaos seed twice and asserts the
+// outcomes — per-application completion, error strings, digests, counter
+// snapshots and the virtual clock — are identical: the seed is a complete
+// one-line reproduction of the run.
+func TestChaosSeedsReplayable(t *testing.T) {
+	seeds := []int64{1, 2, 3, 7, 42}
+	if testing.Short() || raceEnabled {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		first, err := conformance.RunChaos(conformance.ChaosConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		second, err := conformance.RunChaos(conformance.ChaosConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d replay: %v", seed, err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("seed %d is not replayable:\n first: %+v\nsecond: %+v", seed, first, second)
+		}
+		completed := 0
+		for _, ao := range first.Apps {
+			if ao.Completed {
+				completed++
+			}
+		}
+		t.Logf("seed %d: %d/%d apps completed, clock %v", seed, completed, len(first.Apps), first.Clock)
+	}
+}
+
+// TestChaosCatchesPlantedBatchClipBug proves the harness detects silent
+// corruption: the probe passes against the shipping driver and fails when
+// the historical batch-clipping bug is re-introduced via the test hook.
+func TestChaosCatchesPlantedBatchClipBug(t *testing.T) {
+	if err := conformance.BatchClipProbe(); err != nil {
+		t.Fatalf("probe failed against the shipping driver: %v", err)
+	}
+	driver.TestHookBatchClip = true
+	defer func() { driver.TestHookBatchClip = false }()
+	err := conformance.BatchClipProbe()
+	if err == nil {
+		t.Fatal("probe did not detect the planted batch-clipping bug")
+	}
+	t.Logf("planted bug detected: %v", err)
+}

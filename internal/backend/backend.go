@@ -46,14 +46,36 @@ type Backend struct {
 	// status polls compare the timeline against it.
 	completion simtime.Duration
 
+	// fault holds the injected copy/translate failures (nil = none).
+	fault *FaultPolicy
+
 	// Observability (nil-safe until SetObs): deserialized rows, translated
-	// pages, copied bytes per engine, and simulator failovers.
-	rec        *obs.Recorder
-	cRows      *obs.Counter
-	cPages     *obs.Counter
-	cCopyBytes *obs.Counter
-	cFailovers *obs.Counter
+	// pages, copied bytes per engine, applied batch records, and simulator
+	// failovers.
+	rec           *obs.Recorder
+	cRows         *obs.Counter
+	cPages        *obs.Counter
+	cCopyBytes    *obs.Counter
+	cBatchRecords *obs.Counter
+	cFailovers    *obs.Counter
 }
+
+// FaultPolicy injects data-path failures into the backend for chaos
+// testing. Hooks are optional; they run on the request path, so a true
+// return makes the in-flight operation fail with a device error — the
+// guest driver surfaces it, and no partial result may be reported as
+// success.
+type FaultPolicy struct {
+	// FailTranslate reports whether the GPA->HVA translation of the given
+	// guest page fails (a stale or hostile page table entry).
+	FailTranslate func(gpa uint64) bool
+	// FailCopy reports whether the rank copy for the given DPU fails (an
+	// MRAM transfer error surfaced by the UPMEM driver).
+	FailCopy func(dpu int) bool
+}
+
+// SetFault installs (or, with nil, removes) the backend's fault policy.
+func (b *Backend) SetFault(p *FaultPolicy) { b.fault = p }
 
 // New wires a backend. engine selects the Rust or C copy path; loop is the
 // VM-wide event loop shared by all vUPMEM devices.
@@ -78,6 +100,7 @@ func (b *Backend) SetObs(reg *obs.Registry, rec *obs.Recorder) {
 	b.cRows = reg.Counter("backend.deser.rows" + tag)
 	b.cPages = reg.Counter("backend.deser.pages" + tag)
 	b.cCopyBytes = reg.Counter("backend.copy.bytes." + b.engine.String() + tag)
+	b.cBatchRecords = reg.Counter("backend.batch.records" + tag)
 	b.cFailovers = reg.Counter("backend.failovers" + tag)
 }
 

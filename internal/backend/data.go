@@ -124,6 +124,9 @@ func (b *Backend) forEachSegment(r row, fn func(host []byte, mramOff int64) erro
 		if remaining <= 0 {
 			break
 		}
+		if b.fault != nil && b.fault.FailTranslate != nil && b.fault.FailTranslate(gpa) {
+			return fmt.Errorf("backend: injected translate fault at gpa %#x (dpu %d)", gpa, r.dpu)
+		}
 		host, err := b.mem.Translate(gpa)
 		if err != nil {
 			return err
@@ -152,6 +155,9 @@ func (b *Backend) copyRows(op virtio.Op, rows []row, tl *simtime.Timeline) error
 	sizes := make([]int, len(rows))
 	for i, r := range rows {
 		var err error
+		if b.fault != nil && b.fault.FailCopy != nil && b.fault.FailCopy(r.dpu) {
+			return fmt.Errorf("backend: injected copy fault on dpu %d", r.dpu)
+		}
 		if op == virtio.OpWriteRank {
 			err = b.forEachSegment(r, func(host []byte, mramOff int64) error {
 				return b.rank.WriteDPU(r.dpu, mramOff, host)
@@ -177,6 +183,9 @@ func (b *Backend) applyBatch(rows []row, tl *simtime.Timeline) error {
 	var dataBytes int64
 	var records int64
 	for _, r := range rows {
+		if b.fault != nil && b.fault.FailCopy != nil && b.fault.FailCopy(r.dpu) {
+			return fmt.Errorf("backend: injected copy fault on dpu %d", r.dpu)
+		}
 		// Reassemble the batch region (it is small: <= 64 pages).
 		buf := make([]byte, 0, r.size)
 		err := b.forEachSegment(r, func(host []byte, _ int64) error {
@@ -202,6 +211,7 @@ func (b *Backend) applyBatch(rows []row, tl *simtime.Timeline) error {
 		}
 	}
 	b.cCopyBytes.Add(dataBytes)
+	b.cBatchRecords.Add(records)
 	// Records spread across the operation threads like regular rows.
 	threads := int64(b.model.OpThreads)
 	if threads < 1 {

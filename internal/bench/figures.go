@@ -193,24 +193,78 @@ func (h *Harness) Fig12() error {
 	return nil
 }
 
-// Fig13 prints the write-to-rank step breakdown (Page / Deser / Int / Ser /
-// T-data) for the same checksum configuration.
-func (h *Harness) Fig13() error {
+// Fig13Point is one variant's measurement in the Fig. 13 export: the
+// write-to-rank step breakdown in integer nanoseconds of virtual time plus
+// the run's full counter snapshot. Nanosecond integers (not formatted
+// milliseconds) keep the artifact loss-free and diffable.
+type Fig13Point struct {
+	Variant  string           `json:"variant"`
+	TotalNS  int64            `json:"total_ns"`
+	StepsNS  map[string]int64 `json:"steps_ns"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+// Fig13Export is the machine-readable form of the Fig. 13 experiment,
+// written by vpim-bench -fig13-json and committed as BENCH_fig13.json. The
+// embedded config makes every data point self-describing: two exports are
+// comparable only when their configs match.
+type Fig13Export struct {
+	Figure      string       `json:"figure"`
+	Ranks       int          `json:"ranks"`
+	DPUsPerRank int          `json:"dpus_per_rank"`
+	SizePerDPU  int          `json:"size_per_dpu_bytes"`
+	Divisor     int          `json:"checksum_divisor"`
+	Points      []Fig13Point `json:"points"`
+}
+
+// Fig13Data runs the Fig. 13 experiment (checksum write-to-rank step
+// breakdown, vPIM-rust vs vPIM-C) and returns the structured export.
+func (h *Harness) Fig13Data() (*Fig13Export, error) {
 	size := h.scaledSize(8 << 20)
-	h.printf("# Fig 13: write-to-rank step breakdown (checksum)\n")
+	exp := &Fig13Export{
+		Figure:      "13",
+		Ranks:       h.cfg.Ranks,
+		DPUsPerRank: h.cfg.DPUsPerRank,
+		SizePerDPU:  size,
+		Divisor:     h.cfg.ChecksumDivisor,
+	}
 	for _, variant := range []string{"vPIM-rust", "vPIM-C"} {
 		opts, err := vmm.Variant(variant)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		_, vp, err := h.checksum(h.cfg.DPUsPerRank, size, 16, opts)
 		if err != nil {
-			return fmt.Errorf("fig13 %s: %w", variant, err)
+			return nil, fmt.Errorf("fig13 %s: %w", variant, err)
 		}
+		pt := Fig13Point{
+			Variant:  variant,
+			TotalNS:  vp.Total.Nanoseconds(),
+			StepsNS:  make(map[string]int64, len(vp.Steps)),
+			Counters: vp.Counters,
+		}
+		for st, d := range vp.Steps {
+			pt.StepsNS[st] = d.Nanoseconds()
+		}
+		exp.Points = append(exp.Points, pt)
+	}
+	return exp, nil
+}
+
+// Fig13 prints the write-to-rank step breakdown (Page / Deser / Int / Ser /
+// T-data) for the same checksum configuration.
+func (h *Harness) Fig13() error {
+	h.printf("# Fig 13: write-to-rank step breakdown (checksum)\n")
+	exp, err := h.Fig13Data()
+	if err != nil {
+		return err
+	}
+	for _, pt := range exp.Points {
+		ns := func(st string) time.Duration { return time.Duration(pt.StepsNS[st]) }
 		h.printf("fig13 variant=%s page=%sms deser=%sms int=%sms ser=%sms t-data=%sms\n",
-			variant, ms(vp.Steps[trace.StepPage]), ms(vp.Steps[trace.StepDeser]),
-			ms(vp.Steps[trace.StepInt]), ms(vp.Steps[trace.StepSer]), ms(vp.Steps[trace.StepTData]))
-		h.printf("fig13.counters variant=%s %s\n", variant, counterCols(vp))
+			pt.Variant, ms(ns(trace.StepPage)), ms(ns(trace.StepDeser)),
+			ms(ns(trace.StepInt)), ms(ns(trace.StepSer)), ms(ns(trace.StepTData)))
+		h.printf("fig13.counters variant=%s %s\n", pt.Variant, counterCols(Result{Counters: pt.Counters}))
 	}
 	return nil
 }

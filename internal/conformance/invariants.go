@@ -1,0 +1,108 @@
+// Structural invariants over the observability counters and the virtual
+// clock. These hold for every clean (fault-free) run of any configuration;
+// the matrix runner checks them after every cell.
+package conformance
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/vmm"
+)
+
+// CheckCounters verifies the cross-layer counter identities on an
+// aggregated (device tags stripped) snapshot of a clean run:
+//
+//   - every guest->VMM message is a VMEXIT: frontend.messages equals
+//     kvm.exits.notify + kvm.exits.aggregated;
+//   - every notify exit is a submitted chain: kvm.exits.notify equals
+//     transferq.chains + controlq.chains;
+//   - every exit pairs with a completion IRQ on the clean path: kvm.irqs
+//     equals kvm.exits.notify + kvm.exits.aggregated;
+//   - every prefetch-cache lookup resolves: frontend.cache.lookups equals
+//     frontend.cache.hits + frontend.cache.misses;
+//   - every batched record is applied: frontend.batch.appends equals
+//     backend.batch.records, and a flush never happens without records;
+//   - a disabled optimization never counts: prefetch/batch counters are
+//     zero when the corresponding option is off, and with the default
+//     batch geometry no record overflows the buffer, so fallbacks stay
+//     zero (the fallback path itself is exercised by BatchClipProbe).
+func CheckCounters(snap map[string]int64, opts vmm.Options) error {
+	get := func(name string) int64 { return snap[name] }
+	messages := get("frontend.messages")
+	notify := get("kvm.exits.notify")
+	aggregated := get("kvm.exits.aggregated")
+	irqs := get("kvm.irqs")
+	chains := get("virtio.transferq.chains") + get("virtio.controlq.chains")
+
+	if messages != notify+aggregated {
+		return fmt.Errorf("invariant: frontend.messages=%d != exits.notify+exits.aggregated=%d+%d",
+			messages, notify, aggregated)
+	}
+	if notify != chains {
+		return fmt.Errorf("invariant: kvm.exits.notify=%d != submitted chains=%d", notify, chains)
+	}
+	if irqs != notify+aggregated {
+		return fmt.Errorf("invariant: kvm.irqs=%d != exits=%d", irqs, notify+aggregated)
+	}
+
+	lookups := get("frontend.cache.lookups")
+	hits := get("frontend.cache.hits")
+	misses := get("frontend.cache.misses")
+	if lookups != hits+misses {
+		return fmt.Errorf("invariant: cache.lookups=%d != hits+misses=%d+%d", lookups, hits, misses)
+	}
+	if !opts.Prefetch && lookups+hits+misses != 0 {
+		return fmt.Errorf("invariant: prefetch disabled but cache counters %d/%d/%d", lookups, hits, misses)
+	}
+
+	appends := get("frontend.batch.appends")
+	flushes := get("frontend.batch.flushes")
+	fallbacks := get("frontend.batch.fallbacks")
+	records := get("backend.batch.records")
+	if appends != records {
+		return fmt.Errorf("invariant: batch.appends=%d != backend.batch.records=%d", appends, records)
+	}
+	if flushes > appends {
+		return fmt.Errorf("invariant: batch.flushes=%d > batch.appends=%d", flushes, appends)
+	}
+	if !opts.Batch && appends+flushes+fallbacks != 0 {
+		return fmt.Errorf("invariant: batching disabled but batch counters %d/%d/%d", appends, flushes, fallbacks)
+	}
+	if opts.Batch && opts.Driver.BatchPages == 0 && fallbacks != 0 {
+		return fmt.Errorf("invariant: %d batch fallbacks under default geometry", fallbacks)
+	}
+	return nil
+}
+
+// CheckSpanReconciliation verifies that a traced VM's recorded spans
+// reconcile exactly with the virtual-clock tracker: for every category the
+// tracker accumulated, the recorder's span totals must match to the
+// nanosecond, and the recorder must not have invented categories the
+// tracker never saw. Both sides are fed from the same Timeline.Span/Charge
+// stream, so any disagreement means a layer bypassed the instrumented path.
+func CheckSpanReconciliation(vm *vmm.VM) error {
+	tracked := vm.Tracker().Snapshot()
+	recorded := vm.Recorder().CategoryTotals()
+	for cat, want := range tracked {
+		if got := recorded[cat]; got != want {
+			return fmt.Errorf("invariant: category %q tracked %v but spans total %v", cat, want, got)
+		}
+	}
+	for cat, got := range recorded {
+		if _, ok := tracked[cat]; !ok && got != 0 {
+			return fmt.Errorf("invariant: spans report %v for category %q the tracker never saw", got, cat)
+		}
+	}
+	// The application-phase categories partition the run: their sum is the
+	// execution-time metric and can never exceed the wall virtual clock.
+	var phases time.Duration
+	for _, ph := range trace.Phases {
+		phases += tracked[ph]
+	}
+	if now := vm.Timeline().Now(); phases > now {
+		return fmt.Errorf("invariant: phase total %v exceeds virtual clock %v", phases, now)
+	}
+	return nil
+}

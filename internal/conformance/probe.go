@@ -1,0 +1,74 @@
+// Differential probe for the batch-overflow path: a write whose packed
+// record cannot fit an empty batch buffer must fall back to the unbatched
+// matrix path, not be clipped. The probe shrinks the batch buffer to one
+// page and writes a record larger than it, then reads the region back and
+// compares byte-for-byte against the written payload. It exists to prove
+// the harness catches silent corruption: re-introducing the historical
+// clipping bug (driver.TestHookBatchClip) must make the probe fail.
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/driver"
+	"repro/internal/obs"
+	"repro/internal/vmm"
+)
+
+// BatchClipProbe returns nil when oversized batch records survive a
+// write/readback round trip intact, and a descriptive error when the stack
+// corrupts them (e.g. under driver.TestHookBatchClip).
+func BatchClipProbe() error {
+	vm, _, err := newVM("probe", vmm.Options{
+		Engine: cost.EngineC,
+		Batch:  true,
+		// One page of batch buffer: a record of batchRecordHeader + ~6 KB
+		// overflows it while staying under the batching threshold, so the
+		// frontend must take the overflow-fallback decision.
+		Driver: driver.Options{BatchPages: 1},
+	}, 1)
+	if err != nil {
+		return err
+	}
+	set, err := vm.AllocSet(confDPUs / 2)
+	if err != nil {
+		return err
+	}
+	defer set.Free()
+
+	const length = 6000
+	src, err := vm.AllocBuffer(length)
+	if err != nil {
+		return err
+	}
+	for i := range src.Data {
+		src.Data[i] = byte(i*7 + 3)
+	}
+	if err := set.CopyToMRAM(0, 0, src, length); err != nil {
+		return fmt.Errorf("probe write: %w", err)
+	}
+	dst, err := vm.AllocBuffer(length)
+	if err != nil {
+		return err
+	}
+	if err := set.CopyFromMRAM(0, 0, dst, length); err != nil {
+		return fmt.Errorf("probe readback: %w", err)
+	}
+	if !bytes.Equal(src.Data[:length], dst.Data[:length]) {
+		for i := 0; i < length; i++ {
+			if src.Data[i] != dst.Data[i] {
+				return fmt.Errorf("probe: oversized batch record corrupted from byte %d of %d (wrote %#x, read %#x)",
+					i, length, src.Data[i], dst.Data[i])
+			}
+		}
+	}
+	// The overflow must be visible in the counters: exactly one fallback,
+	// and the record must not have been staged as a batch append.
+	snap := obs.Aggregate(vm.Metrics())
+	if fb := snap["frontend.batch.fallbacks"]; fb != 1 {
+		return fmt.Errorf("probe: expected 1 batch fallback, counters report %d", fb)
+	}
+	return nil
+}

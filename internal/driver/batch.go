@@ -54,11 +54,18 @@ func (f *Frontend) batchAppend(entries []sdk.DPUXfer, off int64, length int, tl 
 	b := f.batch
 	need := batchRecordHeader + pad8(length)
 	if need > b.capacity() {
-		f.cBatchFallbacks.Inc()
-		if err := f.flushBatch(tl); err != nil {
-			return err
+		if TestHookBatchClip {
+			// Planted fault (see TestHookBatchClip): clip the record to the
+			// buffer and stage it anyway, silently truncating the write.
+			length = (b.capacity() - batchRecordHeader) &^ 7
+			need = batchRecordHeader + pad8(length)
+		} else {
+			f.cBatchFallbacks.Inc()
+			if err := f.flushBatch(tl); err != nil {
+				return err
+			}
+			return f.sendMatrix(virtio.OpWriteRank, entries, off, length, tl)
 		}
-		return f.sendMatrix(virtio.OpWriteRank, entries, off, length, tl)
 	}
 	for _, e := range entries {
 		if e.DPU < 0 || e.DPU >= len(b.bufs) {
@@ -79,6 +86,20 @@ func (f *Frontend) batchAppend(entries []sdk.DPUXfer, off int64, length int, tl 
 		tl.Advance(f.model.BatchAppend + f.model.CopyDuration(cost.EngineC, int64(length)))
 	}
 	return nil
+}
+
+// dropBatch discards every staged record without shipping them: the
+// detach path uses it when a flush against a dead device fails, trading
+// already-unreachable data for a device that can still unlink cleanly.
+func (f *Frontend) dropBatch() {
+	b := f.batch
+	if b == nil {
+		return
+	}
+	for d := range b.used {
+		b.used[d] = 0
+	}
+	b.records = 0
 }
 
 // flushBatch ships every staged record in one serialized-matrix message.

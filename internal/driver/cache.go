@@ -75,6 +75,7 @@ func (f *Frontend) readViaCache(entries []sdk.DPUXfer, off int64, length int, tl
 		if e.DPU < 0 || e.DPU >= len(c.bufs) {
 			return fmt.Errorf("driver: DPU %d outside cache of %d", e.DPU, len(c.bufs))
 		}
+		f.cCacheLookups.Inc()
 		if c.hit(e.DPU, off, length) {
 			f.cCacheHits.Inc()
 			continue

@@ -98,12 +98,21 @@ type Frontend struct {
 	// counts; the VMM rebinds them into the per-VM registry via SetObs.
 	rec             *obs.Recorder
 	cMessages       *obs.Counter
+	cCacheLookups   *obs.Counter
 	cCacheHits      *obs.Counter
 	cCacheMisses    *obs.Counter
 	cBatchAppends   *obs.Counter
 	cBatchFlushes   *obs.Counter
 	cBatchFallbacks *obs.Counter
 }
+
+// TestHookBatchClip re-introduces the pre-fix batch clipping bug for
+// harness validation: oversized batch records are silently clipped to the
+// buffer instead of falling back to the matrix path, corrupting MRAM
+// contents without any error. Only conformance tests set this, to prove
+// the differential harness catches a planted silent-corruption fault; it
+// must never be set outside tests.
+var TestHookBatchClip bool
 
 // Stats counts frontend activity for the evaluation harness.
 type Stats struct {
@@ -149,6 +158,7 @@ func (f *Frontend) SetObs(reg *obs.Registry, rec *obs.Recorder) {
 	tag := "#" + f.id
 	f.rec = rec
 	f.cMessages = reg.Counter("frontend.messages" + tag)
+	f.cCacheLookups = reg.Counter("frontend.cache.lookups" + tag)
 	f.cCacheHits = reg.Counter("frontend.cache.hits" + tag)
 	f.cCacheMisses = reg.Counter("frontend.cache.misses" + tag)
 	f.cBatchAppends = reg.Counter("frontend.batch.appends" + tag)
@@ -358,8 +368,13 @@ func (f *Frontend) Detach(tl *simtime.Timeline) error {
 	if !f.attached {
 		return nil
 	}
+	// The flush is best-effort: the device is being unlinked, so when it
+	// fails (e.g. the physical rank died mid-run) the staged records are
+	// dropped rather than wedging the device in the attached state — a
+	// device that cannot flush could otherwise never detach, re-attach, or
+	// hand its rank back.
 	if err := f.flushBatch(tl); err != nil {
-		return err
+		f.dropBatch()
 	}
 	f.cache.invalidate()
 	if err := f.controlRoundTrip(virtio.OpRelease, tl); err != nil {

@@ -1,9 +1,12 @@
 package kvm
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/simtime"
 	"repro/internal/trace"
 )
@@ -36,5 +39,64 @@ func TestAddRoundTrips(t *testing.T) {
 	p.AddRoundTrips(3000)
 	if p.Exits() != 3000 || p.IRQs() != 3000 {
 		t.Errorf("aggregate round trips not counted: %d/%d", p.Exits(), p.IRQs())
+	}
+}
+
+// TestExitChargingUnderConcurrentVMs drives two transition paths — two VMs
+// on one host — from concurrent guests. Each VM has its own timeline, but
+// the host-level registry is shared, so the per-reason exit counters must
+// account every transition of both VMs exactly, and each VM's virtual
+// clock must charge only its own transitions. Run under -race this also
+// pins the concurrency safety of the counting fast path.
+func TestExitChargingUnderConcurrentVMs(t *testing.T) {
+	model := cost.Default()
+	reg := obs.NewRegistry()
+	paths := []*Path{NewPath(model), NewPath(model)}
+	for _, p := range paths {
+		p.SetObs(reg)
+	}
+
+	const (
+		guestsPerVM = 4
+		tripsEach   = 500
+		bootsEach   = 50
+	)
+	var wg sync.WaitGroup
+	for _, p := range paths {
+		for g := 0; g < guestsPerVM; g++ {
+			wg.Add(1)
+			go func(p *Path) {
+				defer wg.Done()
+				tl := simtime.New()
+				for i := 0; i < tripsEach; i++ {
+					p.GuestToVMM(tl)
+					p.VMMToGuest(tl)
+				}
+				p.AddRoundTrips(bootsEach)
+				if want := time.Duration(tripsEach) * model.MessageRoundTrip(); tl.Now() != want {
+					t.Errorf("guest clock %v, want %v", tl.Now(), want)
+				}
+			}(p)
+		}
+	}
+	wg.Wait()
+
+	perPath := int64(guestsPerVM * (tripsEach + bootsEach))
+	for i, p := range paths {
+		if p.Exits() != perPath || p.IRQs() != perPath {
+			t.Errorf("vm %d: exits=%d irqs=%d, want %d", i, p.Exits(), p.IRQs(), perPath)
+		}
+	}
+	snap := reg.Snapshot()
+	wantNotify := int64(len(paths) * guestsPerVM * tripsEach)
+	wantBoot := int64(len(paths) * guestsPerVM * bootsEach)
+	if snap["kvm.exits.notify"] != wantNotify {
+		t.Errorf("kvm.exits.notify = %d, want %d", snap["kvm.exits.notify"], wantNotify)
+	}
+	if snap["kvm.exits.aggregated"] != wantBoot {
+		t.Errorf("kvm.exits.aggregated = %d, want %d", snap["kvm.exits.aggregated"], wantBoot)
+	}
+	if snap["kvm.irqs"] != wantNotify+wantBoot {
+		t.Errorf("kvm.irqs = %d, want %d", snap["kvm.irqs"], wantNotify+wantBoot)
 	}
 }

@@ -95,3 +95,100 @@ func TestMigrateErrors(t *testing.T) {
 		t.Errorf("no target: %v", err)
 	}
 }
+
+// TestMigrateRacesRankDeath drives a countdown fault plan that kills the
+// preferred migration target exactly when Migrate's candidate scan reaches
+// it: the dead rank must be quarantined and skipped, and the migration must
+// land on the surviving rank with contents intact.
+func TestMigrateRacesRankDeath(t *testing.T) {
+	mgr := New(testMachine(t, 3), Options{})
+	src, _, err := mgr.Alloc("tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WriteDPU(0, 0, []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fuse ignores the consultation that granted src and fires on the
+	// next consultation of rank 1 — the scan's preferred NAAV target.
+	deadRank := 1
+	consults := 0
+	mgr.SetFaultPolicy(&FaultPolicy{
+		RankDead: func(rank int) bool {
+			if rank != deadRank {
+				return false
+			}
+			consults++
+			return consults >= 1
+		},
+	})
+
+	dst, _, err := mgr.Migrate(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst.Index() == deadRank {
+		t.Fatalf("migration landed on the dead rank %d", deadRank)
+	}
+	if st := mgr.States()[deadRank]; st != StateQUAR {
+		t.Errorf("dead target must be quarantined, is %v", st)
+	}
+	got := make([]byte, 8)
+	if err := dst.ReadDPU(0, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("survivor")) {
+		t.Errorf("migrated contents = %q", got)
+	}
+
+	// Kill every remaining target: the next migration must fail cleanly —
+	// ErrNoRanks, with the source still allocated and untouched.
+	mgr.SetFaultPolicy(&FaultPolicy{RankDead: func(rank int) bool { return rank != dst.Index() }})
+	if _, _, err := mgr.Migrate(dst); !errors.Is(err, ErrNoRanks) {
+		t.Fatalf("all-dead migration: %v", err)
+	}
+	if st := mgr.States()[dst.Index()]; st != StateALLO {
+		t.Errorf("failed migration must leave the source ALLO, is %v", st)
+	}
+	if err := dst.ReadDPU(0, 0, got); err != nil || !bytes.Equal(got, []byte("survivor")) {
+		t.Errorf("failed migration must not disturb source contents: %q, %v", got, err)
+	}
+}
+
+// TestMigrateSourceQuarantinedMidCopy quarantines the source (its death
+// observed through CheckRank, as the backend does mid-transfer) and then
+// attempts to migrate it: the manager must refuse cleanly with
+// ErrNotAllocated instead of checkpointing a dead rank, and the ownership
+// table must stay coherent.
+func TestMigrateSourceQuarantinedMidCopy(t *testing.T) {
+	mgr := New(testMachine(t, 2), Options{})
+	src, _, err := mgr.Alloc("tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.SetFaultPolicy(&FaultPolicy{RankDead: func(rank int) bool { return rank == src.Index() }})
+	if err := mgr.CheckRank(src); !errors.Is(err, ErrRankFaulted) {
+		t.Fatalf("CheckRank on dead allocated rank: %v", err)
+	}
+	if st := mgr.States()[src.Index()]; st != StateQUAR {
+		t.Fatalf("dead allocated rank must be QUAR, is %v", st)
+	}
+
+	if _, _, err := mgr.Migrate(src); !errors.Is(err, ErrNotAllocated) {
+		t.Fatalf("migrating a quarantined source: %v", err)
+	}
+	if owner := mgr.Owners()[src.Index()]; owner != "" {
+		t.Errorf("quarantined rank still owned by %q", owner)
+	}
+
+	// Recovery: once the hardware comes back, the quarantined rank rejoins
+	// the pool and is allocatable again.
+	mgr.SetFaultPolicy(nil)
+	if n := mgr.RetryQuarantined(); n != 1 {
+		t.Fatalf("RetryQuarantined revived %d ranks, want 1", n)
+	}
+	if _, _, err := mgr.Alloc("tenant2"); err != nil {
+		t.Fatalf("alloc after revival: %v", err)
+	}
+}

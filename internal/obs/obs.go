@@ -147,6 +147,32 @@ func FormatSnapshot(snap map[string]int64) string {
 	return b.String()
 }
 
+// CheckMonotonic verifies that cur is a legal successor of prev: every
+// counter present in prev is still present in cur with a value >= the old
+// one. Counters are append-only, so a missing or shrinking counter means a
+// layer rebuilt or rewound its registry — the kind of bookkeeping bug the
+// chaos harness exists to catch. Returns nil when the snapshots are
+// consistent; otherwise an error naming every offending counter (sorted,
+// so the message is deterministic).
+func CheckMonotonic(prev, cur map[string]int64) error {
+	var bad []string
+	for name, old := range prev {
+		now, ok := cur[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s disappeared (was %d)", name, old))
+			continue
+		}
+		if now < old {
+			bad = append(bad, fmt.Sprintf("%s went backwards: %d -> %d", name, old, now))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("obs: non-monotonic counters: %s", strings.Join(bad, "; "))
+}
+
 // Aggregate merges per-device counters into totals: the device tag (the
 // '#' suffix of a counter name) is stripped and same-named counters are
 // summed. Untagged counters pass through unchanged.

@@ -26,7 +26,21 @@ type Set struct {
 	// asyncDone is the completion instant of an in-flight asynchronous
 	// launch (see LaunchAsync/Sync).
 	asyncDone simtime.Duration
+
+	// observe, when set, receives every device readback (see ObserveReads).
+	observe ReadObserver
 }
+
+// ReadObserver receives every readback flowing through a set: bulk MRAM
+// reads (kind "mram"), per-DPU copies and host-symbol reads (kind
+// "sym:<name>"). dpu is the global DPU index within the set and data the
+// bytes the device returned. The conformance harness digests this stream to
+// compare configurations bit-for-bit; the stream's shape depends only on
+// the application and its parameters, never on the execution environment.
+type ReadObserver func(kind string, dpu int, off int64, data []byte)
+
+// ObserveReads installs (or, with nil, removes) the readback observer.
+func (s *Set) ObserveReads(fn ReadObserver) { s.observe = fn }
 
 // NewSet assembles a set over the given devices exposing nrDPUs DPUs. It is
 // called by environment implementations, not applications.
@@ -154,6 +168,15 @@ func (s *Set) PushXfer(dir Direction, off int64, length int) error {
 			firstErr = fmt.Errorf("push rank %d: %w", di, err)
 		}
 	})
+	// Readbacks are reported in global DPU order, after every rank finished,
+	// so the observed stream is independent of how DPUs partition into ranks.
+	if s.observe != nil && dir == FromDPU && firstErr == nil {
+		for g := 0; g < s.total; g++ {
+			if s.hasPrep[g] {
+				s.observe("mram", g, off, s.prepared[g].Data[:length])
+			}
+		}
+	}
 	for i := range s.hasPrep {
 		s.hasPrep[i] = false
 	}
@@ -185,7 +208,13 @@ func (s *Set) CopyFromMRAM(dpu int, off int64, buf hostmem.Buffer, length int) e
 		return err
 	}
 	entry := []DPUXfer{{DPU: local, Buf: buf}}
-	return s.devs[di].ReadRank(entry, off, length, s.tl)
+	if err := s.devs[di].ReadRank(entry, off, length, s.tl); err != nil {
+		return err
+	}
+	if s.observe != nil {
+		s.observe("mram", dpu, off, buf.Data[:length])
+	}
+	return nil
 }
 
 // CopyToSym writes a host symbol on one DPU (dpu_copy_to on a __host
@@ -210,7 +239,13 @@ func (s *Set) CopyFromSym(dpu int, symbol string, off int, dst []byte) error {
 	if err != nil {
 		return err
 	}
-	return s.devs[di].SymRead(local, symbol, off, dst, s.tl)
+	if err := s.devs[di].SymRead(local, symbol, off, dst, s.tl); err != nil {
+		return err
+	}
+	if s.observe != nil {
+		s.observe("sym:"+symbol, dpu, int64(off), dst)
+	}
+	return nil
 }
 
 // BroadcastSym writes the same host symbol value on every DPU of the set

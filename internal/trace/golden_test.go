@@ -1,0 +1,173 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/manager"
+	"repro/internal/obs"
+	"repro/internal/pim"
+	"repro/internal/trace"
+	"repro/internal/vmm"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// syntheticRecorder builds a recorder whose event stream covers every lane
+// of the export — phase/op/step spans through ObserveSpan (the
+// simtime-driven path) and request-threaded guest/vmm/rank hops through
+// Record — with hand-picked times, so the golden file pins the JSON schema
+// without depending on the cost model.
+func syntheticRecorder() *obs.Recorder {
+	rec := obs.NewRecorder()
+	rec.Enable()
+	req := rec.NextRequestID()
+	rec.ObserveSpan(trace.PhaseCPUDPU, 0, 1500*time.Nanosecond)
+	rec.ObserveSpan(trace.OpWriteRank, 100*time.Nanosecond, 1400*time.Nanosecond)
+	rec.ObserveSpan(trace.StepSer, 100*time.Nanosecond, 600*time.Nanosecond)
+	rec.ObserveSpan(trace.StepInt, 600*time.Nanosecond, 800*time.Nanosecond)
+	rec.Record(obs.Event{
+		Name: "W-rank", Cat: "guest", TID: obs.LaneGuest,
+		Req: req, Start: 100 * time.Nanosecond, Dur: 1300 * time.Nanosecond,
+	})
+	rec.Record(obs.Event{
+		Name: "vmm:write-rank", Cat: "vmm", TID: obs.LaneVMM,
+		Req: req, Start: 800 * time.Nanosecond, Dur: 500 * time.Nanosecond,
+	})
+	rec.Record(obs.Event{
+		Name: "rank:write-rank", Cat: "rank", TID: obs.LaneRank,
+		Req: req, Start: 900 * time.Nanosecond, Dur: 300 * time.Nanosecond,
+	})
+	// A zero-duration span (cache-served read) must survive the export.
+	rec.ObserveSpan(trace.OpReadRank, 1500*time.Nanosecond, 1500*time.Nanosecond)
+	return rec
+}
+
+// TestChromeTraceJSONGolden pins the Chrome trace-event export byte for
+// byte: field names, metadata events, number formatting and event order
+// are all part of the contract chrome://tracing and Perfetto consume.
+// Regenerate with `go test ./internal/trace -run Golden -update` after an
+// intentional format change.
+func TestChromeTraceJSONGolden(t *testing.T) {
+	got := syntheticRecorder().ChromeTraceJSON()
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Chrome trace export drifted from golden file:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// traceEvent mirrors the trace-event JSON schema the viewers expect.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// TestVMTraceJSONSchema runs a small workload in a traced VM and validates
+// the schema of vm.TraceJSON: well-formed trace-event JSON, the process and
+// six lane-name metadata records first, then only complete ("X") events
+// with sane categories, non-negative microsecond timestamps, and request
+// annotations confined to the per-request hop lanes.
+func TestVMTraceJSONSchema(t *testing.T) {
+	mach, err := pim.NewMachine(pim.MachineConfig{
+		Ranks: 1,
+		Rank:  pim.RankConfig{DPUs: 4, MRAMBytes: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := vmm.NewVM(mach, manager.New(mach, manager.Options{}), vmm.Config{
+		Name: "trace", VUPMEMs: 1, Options: vmm.Full(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.EnableTracing()
+	set, err := vm.AllocSet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := vm.AllocBuffer(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf.Data {
+		buf.Data[i] = byte(i)
+	}
+	if err := set.CopyToMRAM(1, 0, buf, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.CopyFromMRAM(1, 0, buf, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Free(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw := vm.TraceJSON()
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("vm.TraceJSON is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 8 {
+		t.Fatalf("only %d trace events", len(doc.TraceEvents))
+	}
+	if ev := doc.TraceEvents[0]; ev.Ph != "M" || ev.Name != "process_name" {
+		t.Errorf("first event must name the process, got %+v", ev)
+	}
+	lanes := map[int]bool{}
+	for _, ev := range doc.TraceEvents[1:7] {
+		if ev.Ph != "M" || ev.Name != "thread_name" {
+			t.Fatalf("events 1-6 must name the lanes, got %+v", ev)
+		}
+		lanes[ev.TID] = true
+	}
+	for tid := 1; tid <= 6; tid++ {
+		if !lanes[tid] {
+			t.Errorf("lane %d has no thread_name metadata", tid)
+		}
+	}
+	validCats := map[string]bool{"phase": true, "op": true, "step": true, "guest": true, "vmm": true, "rank": true}
+	reqLanes := map[int]bool{obs.LaneGuest: true, obs.LaneVMM: true, obs.LaneRank: true}
+	for _, ev := range doc.TraceEvents[7:] {
+		if ev.Ph != "X" {
+			t.Fatalf("span events must be complete events, got ph=%q (%+v)", ev.Ph, ev)
+		}
+		if !validCats[ev.Cat] {
+			t.Errorf("unknown category %q", ev.Cat)
+		}
+		if ev.PID != 1 || ev.TID < 1 || ev.TID > 6 {
+			t.Errorf("event outside the pid/lane contract: %+v", ev)
+		}
+		if ev.TS == nil || ev.Dur == nil || *ev.TS < 0 || *ev.Dur < 0 {
+			t.Errorf("event needs non-negative ts/dur: %+v", ev)
+		}
+		if req, ok := ev.Args["req"]; ok && req != nil && !reqLanes[ev.TID] {
+			t.Errorf("request annotation outside hop lanes: %+v", ev)
+		}
+	}
+}

@@ -128,11 +128,21 @@ type Chain struct {
 // given timeline by the virtual cost of the work.
 type Handler func(chain *Chain, tl *simtime.Timeline) error
 
+// ChainFault is an injected descriptor-chain fault for chaos testing: it
+// runs on every submitted chain before the device handler and may mutate
+// the chain in place (truncate or corrupt descriptors) or reject it
+// outright by returning an error. A corrupted chain must make the request
+// fail cleanly — the device decode rejects it and the guest driver sees a
+// device error — never corrupt state silently; the conformance harness
+// asserts exactly that.
+type ChainFault func(queue string, chain *Chain) error
+
 // Queue is one virtqueue of a virtio-pim device.
 type Queue struct {
 	name      string
 	size      int
 	handler   Handler
+	fault     ChainFault
 	submitted atomic.Int64
 
 	// Observability counters (nil until SetObs; nil counters swallow
@@ -155,6 +165,9 @@ func (q *Queue) Size() int { return q.size }
 // SetHandler installs the device-side processing function; the VMM wires
 // this during device realization.
 func (q *Queue) SetHandler(h Handler) { q.handler = h }
+
+// SetFault installs (or, with nil, removes) a chain-fault injector.
+func (q *Queue) SetFault(f ChainFault) { q.fault = f }
 
 // SetObs registers the queue's counters ("virtio.<queue>.chains" and
 // "virtio.<queue>.descs", tagged with the device ID) in reg.
@@ -181,6 +194,11 @@ func (q *Queue) Submit(chain *Chain, tl *simtime.Timeline) error {
 	q.submitted.Add(1)
 	q.cChains.Inc()
 	q.cDescs.Add(int64(len(chain.Descs)))
+	if q.fault != nil {
+		if err := q.fault(q.name, chain); err != nil {
+			return fmt.Errorf("%w: %v", ErrDeviceFailed, err)
+		}
+	}
 	return q.handler(chain, tl)
 }
 

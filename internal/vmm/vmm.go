@@ -131,6 +131,8 @@ type VM struct {
 
 	fronts []*driver.Frontend
 	backs  []*backend.Backend
+	tqs    []*virtio.Queue
+	cqs    []*virtio.Queue
 
 	reg *obs.Registry
 	rec *obs.Recorder
@@ -199,6 +201,8 @@ func NewVM(mach *pim.Machine, mgr *manager.Manager, cfg Config) (*VM, error) {
 		front.SetObs(reg, rec)
 		vm.backs = append(vm.backs, back)
 		vm.fronts = append(vm.fronts, front)
+		vm.tqs = append(vm.tqs, tq)
+		vm.cqs = append(vm.cqs, cq)
 		tl.Advance(model.BootPerDevice)
 	}
 	vm.bootTime = tl.Now()
@@ -254,6 +258,26 @@ func (vm *VM) TraceJSON() []byte { return vm.rec.ChromeTraceJSON() }
 
 // Memory exposes guest RAM (for tests).
 func (vm *VM) Memory() *hostmem.Memory { return vm.mem }
+
+// InjectChainFault installs a descriptor-chain fault hook on every vUPMEM
+// device's transferq and controlq (nil uninstalls). Chaos tests use it to
+// corrupt or reject chains in flight; production code never calls it.
+func (vm *VM) InjectChainFault(f virtio.ChainFault) {
+	for _, q := range vm.tqs {
+		q.SetFault(f)
+	}
+	for _, q := range vm.cqs {
+		q.SetFault(f)
+	}
+}
+
+// InjectBackendFault installs a backend fault policy (translate/copy
+// failures) on every vUPMEM device's backend (nil uninstalls).
+func (vm *VM) InjectBackendFault(p *backend.FaultPolicy) {
+	for _, b := range vm.backs {
+		b.SetFault(p)
+	}
+}
 
 // MigrateRank transparently consolidates one vUPMEM device onto another
 // physical rank via the manager's checkpoint/restore (a host-operator

@@ -1,0 +1,10 @@
+//go:build race
+
+package vpim_test
+
+// raceEnabled reports whether the race detector is compiled in. The
+// conformance matrix and chaos suites drop to their -short subsets under
+// race: the detector's 5-10x slowdown would push the full 16-application
+// matrix past any reasonable package timeout, and the race coverage of the
+// stack does not depend on which applications drive it.
+const raceEnabled = true
