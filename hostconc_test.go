@@ -1,0 +1,109 @@
+package vpim_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/manager"
+	"repro/internal/pim"
+	"repro/internal/prim"
+	"repro/internal/vmm"
+)
+
+// hostConcTwinApps covers the two transfer shapes the host-concurrency work
+// parallelizes: RED pushes bulk parallel transfer matrices (the row worker
+// pool), TRNS issues many smaller transfers across both ranks (the per-rank
+// fan-out).
+var hostConcTwinApps = []string{"RED", "TRNS"}
+
+// twinResult is everything observable about one run that real host
+// concurrency must not change.
+type twinResult struct {
+	digest conformance.Digest
+	clock  int64
+	trace  []byte
+}
+
+// runHostWorkersTwin executes app on a fresh two-rank VM with the given
+// host-worker budget.
+func runHostWorkersTwin(t *testing.T, app prim.App, workers int, trace bool) twinResult {
+	t.Helper()
+	mach, err := pim.NewMachine(pim.MachineConfig{
+		Ranks: 2,
+		Rank:  pim.RankConfig{DPUs: 8, MRAMBytes: 8 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prim.Register(mach.Registry()); err != nil {
+		t.Fatal(err)
+	}
+	mgr := manager.New(mach, manager.Options{})
+	opts := vmm.Full()
+	opts.HostWorkers = workers
+	vm, err := vmm.NewVM(mach, mgr, vmm.Config{
+		Name: "twin", VCPUs: 16, VUPMEMs: 2, Options: opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace {
+		vm.EnableTracing()
+	}
+	dg, err := conformance.RunApp(vm, app, prim.Params{DPUs: 16, Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := twinResult{digest: dg, clock: int64(vm.Timeline().Now())}
+	if trace {
+		res.trace = vm.TraceJSON()
+	}
+	return res
+}
+
+// TestHostWorkersBitIdentical is the tentpole acceptance criterion: a VM
+// running the real worker pool and rank fan-out (HostWorkers 4) is
+// observably indistinguishable — readback digest, virtual clock, and traced
+// span export — from the fully sequential twin (HostWorkers 1). Real host
+// goroutines may only change wall-clock time, never modeled behavior.
+func TestHostWorkersBitIdentical(t *testing.T) {
+	for _, name := range hostConcTwinApps {
+		app, err := prim.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Untraced pair: real rank fan-out and row pool both active at
+		// workers=4 (tracing forces the fan-out sequential, so this pair is
+		// the one that exercises concurrent rank goroutines).
+		seq := runHostWorkersTwin(t, app, 1, false)
+		par := runHostWorkersTwin(t, app, 4, false)
+		if par.digest != seq.digest {
+			t.Errorf("%s: parallel digest %v != sequential digest %v", name, par.digest, seq.digest)
+		}
+		if par.clock != seq.clock {
+			t.Errorf("%s: parallel clock %d != sequential clock %d", name, par.clock, seq.clock)
+		}
+		// Traced pair: span export must be byte-identical (the row pool still
+		// runs concurrently under tracing; only the rank fan-out is gated).
+		seqT := runHostWorkersTwin(t, app, 1, true)
+		parT := runHostWorkersTwin(t, app, 4, true)
+		if parT.digest != seqT.digest {
+			t.Errorf("%s traced: parallel digest %v != sequential digest %v", name, parT.digest, seqT.digest)
+		}
+		if !bytes.Equal(parT.trace, seqT.trace) {
+			t.Errorf("%s: TraceJSON differs between HostWorkers 4 and 1 (%d vs %d bytes)",
+				name, len(parT.trace), len(seqT.trace))
+		}
+	}
+}
+
+// TestDescriptorFaultProbes proves the hardened decode checks fire on the
+// wire path: planted row-metadata corruptions (first-page offset past the
+// page end, page count beyond the page buffer) surface as clean per-request
+// errors and the device keeps working afterwards.
+func TestDescriptorFaultProbes(t *testing.T) {
+	if err := conformance.DescriptorFaultProbe(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -49,15 +49,22 @@ type Backend struct {
 	// fault holds the injected copy/translate failures (nil = none).
 	fault *FaultPolicy
 
+	// hostWorkers bounds the real host-side concurrency of the data path:
+	// how many pool workers one request's rows may shard across. 0 selects
+	// GOMAXPROCS; 1 keeps the copy path fully sequential (the deterministic
+	// twin the conformance harness compares against).
+	hostWorkers int
+
 	// Observability (nil-safe until SetObs): deserialized rows, translated
-	// pages, copied bytes per engine, applied batch records, and simulator
-	// failovers.
+	// pages, copied bytes per engine, applied batch records, simulator
+	// failovers, and pool shards dispatched.
 	rec           *obs.Recorder
 	cRows         *obs.Counter
 	cPages        *obs.Counter
 	cCopyBytes    *obs.Counter
 	cBatchRecords *obs.Counter
 	cFailovers    *obs.Counter
+	cWorkersBusy  *obs.Counter
 }
 
 // FaultPolicy injects data-path failures into the backend for chaos
@@ -76,6 +83,11 @@ type FaultPolicy struct {
 
 // SetFault installs (or, with nil, removes) the backend's fault policy.
 func (b *Backend) SetFault(p *FaultPolicy) { b.fault = p }
+
+// SetHostWorkers bounds the data path's real host concurrency: n pool
+// workers per request (0 = GOMAXPROCS, 1 = sequential). Called by the VMM
+// while realizing the device.
+func (b *Backend) SetHostWorkers(n int) { b.hostWorkers = n }
 
 // New wires a backend. engine selects the Rust or C copy path; loop is the
 // VM-wide event loop shared by all vUPMEM devices.
@@ -102,6 +114,7 @@ func (b *Backend) SetObs(reg *obs.Registry, rec *obs.Recorder) {
 	b.cCopyBytes = reg.Counter("backend.copy.bytes." + b.engine.String() + tag)
 	b.cBatchRecords = reg.Counter("backend.batch.records" + tag)
 	b.cFailovers = reg.Counter("backend.failovers" + tag)
+	b.cWorkersBusy = reg.Counter("backend.workers.busy" + tag)
 }
 
 // Rank exposes the attached physical rank (nil when detached).

@@ -2,6 +2,7 @@ package backend
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/hostmem"
@@ -10,6 +11,12 @@ import (
 	"repro/internal/trace"
 	"repro/internal/virtio"
 )
+
+// ErrBadDescriptor reports a transfer-matrix chain whose guest-controlled
+// metadata is malformed (inconsistent row geometry, out-of-range offsets).
+// The device rejects the request cleanly; a hostile guest must never be able
+// to panic or OOM the VMM.
+var ErrBadDescriptor = errors.New("backend: malformed transfer descriptor")
 
 // row is one deserialized transfer-matrix row.
 type row struct {
@@ -50,7 +57,12 @@ func (b *Backend) handleData(req virtio.Request, chain *virtio.Chain, tl *simtim
 
 // deserialize reassembles the transfer matrix from the chain (Fig. 7 layout)
 // and charges the per-DPU deserialization plus the multi-threaded GPA->HVA
-// translation (Fig. 13 "Deser").
+// translation (Fig. 13 "Deser"). Every guest-controlled field is validated
+// before use: the row count against the chain shape, the page count against
+// the page buffer that must hold it (a huge count would otherwise OOM the
+// allocation below), and the first-page offset and size against the page
+// geometry (an offset past the page end would otherwise drive the segment
+// walk out of bounds).
 func (b *Backend) deserialize(chain *virtio.Chain, tl *simtime.Timeline) ([]row, int, error) {
 	descs := chain.Descs
 	if len(descs) < 3 {
@@ -63,6 +75,9 @@ func (b *Backend) deserialize(chain *virtio.Chain, tl *simtime.Timeline) ([]row,
 	nRows64, err := virtio.GetU64(metaBuf, 0)
 	if err != nil {
 		return nil, 0, err
+	}
+	if nRows64 > uint64(len(descs)) {
+		return nil, 0, fmt.Errorf("%w: %d rows exceed %d descriptors", ErrBadDescriptor, nRows64, len(descs))
 	}
 	nRows := int(nRows64)
 	if len(descs) != 2+2*nRows+1 {
@@ -84,7 +99,23 @@ func (b *Backend) deserialize(chain *virtio.Chain, tl *simtime.Timeline) ([]row,
 				return nil, 0, err
 			}
 		}
-		pages := make([]uint64, vals[3])
+		nPages := vals[3]
+		if maxPages := uint64(pm.Len) / 8; nPages > maxPages {
+			return nil, 0, fmt.Errorf("%w: row %d claims %d pages but its page buffer holds %d",
+				ErrBadDescriptor, i, nPages, maxPages)
+		}
+		size, firstOff := vals[1], vals[4]
+		if firstOff >= hostmem.PageSize {
+			return nil, 0, fmt.Errorf("%w: row %d first-page offset %d >= page size %d",
+				ErrBadDescriptor, i, firstOff, hostmem.PageSize)
+		}
+		// The listed pages must cover [firstOff, firstOff+size); computed
+		// subtraction-side to stay overflow-free under hostile sizes.
+		if capacity := nPages * hostmem.PageSize; size > 0 && (nPages == 0 || size > capacity-firstOff) {
+			return nil, 0, fmt.Errorf("%w: row %d size %d does not fit %d pages at offset %d",
+				ErrBadDescriptor, i, size, nPages, firstOff)
+		}
+		pages := make([]uint64, nPages)
 		pmBuf, err := b.mem.Slice(pm.GPA, int(pm.Len))
 		if err != nil {
 			return nil, 0, fmt.Errorf("row %d pages: %w", i, err)
@@ -96,10 +127,10 @@ func (b *Backend) deserialize(chain *virtio.Chain, tl *simtime.Timeline) ([]row,
 		}
 		rows[i] = row{
 			dpu:      int(vals[0]),
-			size:     int(vals[1]),
+			size:     int(size),
 			mramOff:  int64(vals[2]),
 			pages:    pages,
-			firstOff: int(vals[4]),
+			firstOff: int(firstOff),
 		}
 		totalPages += len(pages)
 	}
@@ -114,8 +145,48 @@ func (b *Backend) deserialize(chain *virtio.Chain, tl *simtime.Timeline) ([]row,
 	return rows, totalPages, nil
 }
 
-// forEachSegment walks a row's guest pages, yielding the host slice of each
-// in-row segment along with the running MRAM offset.
+// consultFaults replays the data path's injected fault hooks in the
+// deterministic row-major page order the sequential implementation used.
+// The hooks are stateful countdowns in chaos runs, so they must never be
+// consulted from concurrent workers; pulling the consultation into this
+// sequential prologue is what lets the byte movement itself parallelize
+// without perturbing a seeded fault plan.
+func (b *Backend) consultFaults(rows []row) error {
+	if b.fault == nil {
+		return nil
+	}
+	for _, r := range rows {
+		if b.fault.FailCopy != nil && b.fault.FailCopy(r.dpu) {
+			return fmt.Errorf("backend: injected copy fault on dpu %d", r.dpu)
+		}
+		if b.fault.FailTranslate == nil {
+			continue
+		}
+		remaining := r.size
+		pageOff := r.firstOff
+		for _, gpa := range r.pages {
+			if remaining <= 0 {
+				break
+			}
+			if b.fault.FailTranslate(gpa) {
+				return fmt.Errorf("backend: injected translate fault at gpa %#x (dpu %d)", gpa, r.dpu)
+			}
+			seg := hostmem.PageSize - pageOff
+			if seg > remaining {
+				seg = remaining
+			}
+			remaining -= seg
+			pageOff = 0
+		}
+	}
+	return nil
+}
+
+// forEachSegment walks a row's guest pages, translating each and yielding
+// the host slice of each in-row segment along with the running MRAM offset.
+// Deserialization has validated the row geometry, so the walk stays in
+// bounds; fault hooks were consulted by consultFaults, keeping this function
+// safe to run on concurrent pool workers.
 func (b *Backend) forEachSegment(r row, fn func(host []byte, mramOff int64) error) error {
 	remaining := r.size
 	written := 0
@@ -123,9 +194,6 @@ func (b *Backend) forEachSegment(r row, fn func(host []byte, mramOff int64) erro
 	for _, gpa := range r.pages {
 		if remaining <= 0 {
 			break
-		}
-		if b.fault != nil && b.fault.FailTranslate != nil && b.fault.FailTranslate(gpa) {
-			return fmt.Errorf("backend: injected translate fault at gpa %#x (dpu %d)", gpa, r.dpu)
 		}
 		host, err := b.mem.Translate(gpa)
 		if err != nil {
@@ -148,44 +216,53 @@ func (b *Backend) forEachSegment(r row, fn func(host []byte, mramOff int64) erro
 	return nil
 }
 
-// copyRows moves each row between guest pages and MRAM. Rows are processed
-// by the backend's 8 operation threads (one PIM chip at a time), so the
-// virtual duration is the max over threads of their summed row costs.
+// copyRows moves each row between guest pages and MRAM. The virtual
+// duration models the backend's 8 operation threads (one PIM chip at a
+// time); the actual translation and byte movement shards across the host
+// worker pool — rows address disjoint DPUs, whose MRAM ranges never
+// overlap, so the copies commute and the result is bit-identical to the
+// sequential walk.
 func (b *Backend) copyRows(op virtio.Op, rows []row, tl *simtime.Timeline) error {
-	sizes := make([]int, len(rows))
-	for i, r := range rows {
-		var err error
-		if b.fault != nil && b.fault.FailCopy != nil && b.fault.FailCopy(r.dpu) {
-			return fmt.Errorf("backend: injected copy fault on dpu %d", r.dpu)
-		}
+	if err := b.consultFaults(rows); err != nil {
+		return err
+	}
+	err := b.runRows(len(rows), func(i int) error {
+		r := rows[i]
 		if op == virtio.OpWriteRank {
-			err = b.forEachSegment(r, func(host []byte, mramOff int64) error {
+			return b.forEachSegment(r, func(host []byte, mramOff int64) error {
 				return b.rank.WriteDPU(r.dpu, mramOff, host)
 			})
-		} else {
-			err = b.forEachSegment(r, func(host []byte, mramOff int64) error {
-				return b.rank.ReadDPU(r.dpu, mramOff, host)
-			})
 		}
-		if err != nil {
-			return err
-		}
-		sizes[i] = r.size
-		b.cCopyBytes.Add(int64(r.size))
+		return b.forEachSegment(r, func(host []byte, mramOff int64) error {
+			return b.rank.ReadDPU(r.dpu, mramOff, host)
+		})
+	})
+	if err != nil {
+		return err
 	}
+	sizes := make([]int, len(rows))
+	var total int64
+	for i, r := range rows {
+		sizes[i] = r.size
+		total += int64(r.size)
+	}
+	b.cCopyBytes.Add(total)
 	tl.Advance(b.model.RankOpDuration(b.engine, sizes))
 	return nil
 }
 
 // applyBatch parses each row's packed records ([mramOff, len, data] repeated)
-// and applies them in order.
+// and applies them. Rows shard across the host worker pool like regular
+// copies; within a row, records apply in order (later records may overwrite
+// earlier ones), and rows target distinct DPUs, so parallel rows commute.
 func (b *Backend) applyBatch(rows []row, tl *simtime.Timeline) error {
-	var dataBytes int64
-	var records int64
-	for _, r := range rows {
-		if b.fault != nil && b.fault.FailCopy != nil && b.fault.FailCopy(r.dpu) {
-			return fmt.Errorf("backend: injected copy fault on dpu %d", r.dpu)
-		}
+	if err := b.consultFaults(rows); err != nil {
+		return err
+	}
+	rowBytes := make([]int64, len(rows))
+	rowRecords := make([]int64, len(rows))
+	err := b.runRows(len(rows), func(i int) error {
+		r := rows[i]
 		// Reassemble the batch region (it is small: <= 64 pages).
 		buf := make([]byte, 0, r.size)
 		err := b.forEachSegment(r, func(host []byte, _ int64) error {
@@ -199,16 +276,25 @@ func (b *Backend) applyBatch(rows []row, tl *simtime.Timeline) error {
 			mramOff := int64(binary.LittleEndian.Uint64(buf[pos:]))
 			length := int(binary.LittleEndian.Uint64(buf[pos+8:]))
 			pos += 16
-			if pos+length > len(buf) {
+			if length < 0 || pos+length > len(buf) {
 				return fmt.Errorf("backend: batch record overruns buffer (dpu %d)", r.dpu)
 			}
 			if err := b.rank.WriteDPU(r.dpu, mramOff, buf[pos:pos+length]); err != nil {
 				return err
 			}
-			dataBytes += int64(length)
-			records++
+			rowBytes[i] += int64(length)
+			rowRecords[i]++
 			pos += (length + 7) &^ 7
 		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var dataBytes, records int64
+	for i := range rows {
+		dataBytes += rowBytes[i]
+		records += rowRecords[i]
 	}
 	b.cCopyBytes.Add(dataBytes)
 	b.cBatchRecords.Add(records)

@@ -13,6 +13,11 @@ import (
 // Fig. 16). vPIM's parallel operation handling marks the event complete
 // immediately and hands the work to a dedicated thread, so concurrent rank
 // requests overlap and only the dispatch serializes (Section 4.2).
+//
+// The overlap is modeled in virtual time here and — when the VMM enables
+// simtime's real Par fan-out (see vmm.Options.HostWorkers and DESIGN.md
+// "Host concurrency") — also real on the wall clock: per-rank request
+// bodies then run on their own goroutines.
 type EventLoop struct {
 	parallel bool
 	model    cost.Model

@@ -368,13 +368,16 @@ func (h *Harness) Fig16() error {
 					entries[i] = append(entries[i], sdk.DPUXfer{DPU: d, Buf: buf})
 				}
 			}
-			var firstErr error
+			errs := make([]error, len(devs))
 			durs = env.Timeline().ParNDur(len(devs), func(i int, tl *simtime.Timeline) {
-				if err := devs[i].WriteRank(entries[i], 0, size, tl); err != nil && firstErr == nil {
-					firstErr = err
-				}
+				errs[i] = devs[i].WriteRank(entries[i], 0, size, tl)
 			})
-			return firstErr
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
 		})
 		if err != nil {
 			return fmt.Errorf("fig16 %s: %w", tc.label, err)

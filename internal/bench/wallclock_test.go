@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// benchCase runs one wall-clock geometry under the given host-worker budget
+// inside the Go benchmark loop, reporting bytes/op so `go test -bench`
+// prints a throughput comparison between the sequential twin and the real
+// parallel path.
+func benchCase(b *testing.B, c WallclockCase, workers int) {
+	b.Helper()
+	c.Iterations = 1
+	total := int64(2*c.Ranks*c.DPUsPerRank) * int64(c.BytesPerDPU) // push + pull
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunWallclockCase(c, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func wallclockCase(b *testing.B, name string) WallclockCase {
+	b.Helper()
+	h := New(io.Discard, Config{})
+	for _, c := range h.WallclockCases() {
+		if c.Name == name {
+			return c
+		}
+	}
+	b.Fatalf("unknown wallclock case %q", name)
+	return WallclockCase{}
+}
+
+func BenchmarkWallclockChecksumSeq(b *testing.B) {
+	benchCase(b, wallclockCase(b, "checksum-rowpool"), 1)
+}
+
+func BenchmarkWallclockChecksumPar(b *testing.B) {
+	benchCase(b, wallclockCase(b, "checksum-rowpool"), 0)
+}
+
+func BenchmarkWallclockMultiRankSeq(b *testing.B) {
+	benchCase(b, wallclockCase(b, "multirank-fanout"), 1)
+}
+
+func BenchmarkWallclockMultiRankPar(b *testing.B) {
+	benchCase(b, wallclockCase(b, "multirank-fanout"), 0)
+}
+
+// TestWallclockCasesProduceReport smoke-tests the report path: both cases
+// run, readbacks verify, and the JSON document carries both rows.
+func TestWallclockCasesProduceReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock cases move ~100 MB per run")
+	}
+	h := New(io.Discard, Config{ChecksumDivisor: 16})
+	rep, err := h.Wallclock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != 2 {
+		t.Fatalf("report has %d cases, want 2", len(rep.Cases))
+	}
+	for _, c := range rep.Cases {
+		if c.SeqNs <= 0 || c.ParNs <= 0 {
+			t.Errorf("%s: non-positive timings seq=%d par=%d", c.Name, c.SeqNs, c.ParNs)
+		}
+	}
+	if _, err := rep.MarshalIndent(); err != nil {
+		t.Fatal(err)
+	}
+}

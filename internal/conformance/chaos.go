@@ -9,11 +9,13 @@
 package conformance
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/hostmem"
 	"repro/internal/manager"
 	"repro/internal/obs"
 	"repro/internal/prim"
@@ -86,6 +88,10 @@ func (f *fuse) trip() bool {
 type chaosPlan struct {
 	disabled bool
 
+	// mem is the chaos VM's guest RAM, set after boot; the metadata
+	// corruption modes write malformed values into live row metadata.
+	mem *hostmem.Memory
+
 	rankDead  map[int]*fuse
 	failReset *fuse
 
@@ -121,7 +127,7 @@ func compilePlan(rng *rand.Rand) *chaosPlan {
 	p.stallEvery = 1 + rng.Intn(4)
 	p.stall = time.Duration(rng.Intn(2000)) * time.Microsecond
 	after, hold = 20+rng.Intn(600), 1+rng.Intn(3)
-	mode := rng.Intn(4)
+	mode := rng.Intn(6)
 	if rng.Intn(2) == 1 {
 		p.chainFuse, p.chainMode = &fuse{after: after, hold: hold}, mode
 	}
@@ -169,8 +175,9 @@ func (p *chaosPlan) backendPolicy() *backend.FaultPolicy {
 }
 
 // chainFault implements virtio.ChainFault: reject the chain, truncate its
-// payload descriptors, or corrupt the request header so the device decode
-// rejects it. Every mode must surface as a clean device error.
+// payload descriptors, corrupt the request header, or plant malformed row
+// metadata (an out-of-page first offset, a huge page count) so the device
+// decode rejects it. Every mode must surface as a clean device error.
 func (p *chaosPlan) chainFault(queue string, chain *virtio.Chain) error {
 	if p.disabled || !p.chainFuse.trip() {
 		return nil
@@ -189,11 +196,36 @@ func (p *chaosPlan) chainFault(queue string, chain *virtio.Chain) error {
 		// Point the header outside guest memory.
 		chain.Descs[0].GPA = ^uint64(0) - 0x1000
 		return nil
-	default:
+	case 3:
 		// Truncate the header below the fixed request size.
 		chain.Descs[0].Len = 4
 		return nil
+	case 4:
+		// First-page offset past the page end: the historical panic in the
+		// segment walk; the hardened deserialize must reject the row.
+		p.corruptRowMeta(chain, 4, hostmem.PageSize+8)
+		return nil
+	default:
+		// Page count far beyond the page buffer: the historical unchecked
+		// allocation; deserialize must reject it before allocating.
+		p.corruptRowMeta(chain, 3, uint64(1)<<40)
+		return nil
 	}
+}
+
+// corruptRowMeta overwrites one u64 word of the first row's metadata buffer
+// of a transfer-matrix chain (header, matrix meta, then per-row metadata /
+// page buffer pairs). Non-matrix chains are too short and pass untouched.
+func (p *chaosPlan) corruptRowMeta(chain *virtio.Chain, word int, value uint64) {
+	if p.mem == nil || len(chain.Descs) < 5 {
+		return
+	}
+	dm := chain.Descs[2]
+	buf, err := p.mem.Slice(dm.GPA, int(dm.Len))
+	if err != nil || len(buf) < 8*virtio.DPUMetaWords {
+		return
+	}
+	binary.LittleEndian.PutUint64(buf[8*word:], value)
 }
 
 // RunChaos executes the fault plan of cfg.Seed against a full-stack VM and
@@ -231,6 +263,7 @@ func RunChaos(cfg ChaosConfig) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	plan.mem = vm.Memory()
 	mgr.SetFaultPolicy(plan.managerPolicy())
 	vm.InjectChainFault(plan.chainFault)
 	vm.InjectBackendFault(plan.backendPolicy())

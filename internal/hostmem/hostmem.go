@@ -9,17 +9,33 @@
 // work the backend parallelizes across translation threads (Section 4.2).
 // Zero-copy is structural: the backend obtains slices aliasing guest memory
 // rather than copies.
+//
+// The read path (Translate, Slice) is lock-free: the page table is an array
+// of atomically-published entries pointing into an atomically-swapped
+// allocation snapshot, so the backend's translation workers run concurrently
+// without contending on a mutex. Only allocation-path writers (Alloc,
+// FreeAll) serialize on the Memory mutex.
 package hostmem
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // PageSize is the guest page size (4 KB, as in the paper's transfer-matrix
 // arithmetic: 64 MB / 4 KB = 16384 pages per DPU).
 const PageSize = 4096
+
+// ZeroAllocGPA is the page-aligned sentinel address returned for zero-length
+// allocations. It lies outside any guest RAM (the top page of the 64-bit GPA
+// space), is never entered into the page table, and therefore fails
+// Translate/Slice with ErrBadAddress instead of silently aliasing the next
+// allocation's first page.
+const ZeroAllocGPA = ^uint64(0) &^ (PageSize - 1)
 
 // Errors reported by the memory model.
 var (
@@ -36,12 +52,20 @@ type allocation struct {
 
 // Memory is one VM's guest RAM plus its GPA->HVA page table.
 type Memory struct {
+	// mu serializes writers (Alloc, FreeAll); readers never take it.
 	mu       sync.Mutex
 	capacity int64
 	next     int64
 	// table maps guest page frames to allocation indices (-1 = unmapped).
-	table  []int32
-	allocs []allocation
+	// Entries are published atomically after the allocs snapshot they index
+	// into, so a reader observing an index always finds its allocation.
+	table []atomic.Int32
+	// allocs is the copy-on-write allocation snapshot; writers swap in a new
+	// slice, readers load whatever is current.
+	allocs atomic.Pointer[[]allocation]
+
+	// cSwaps counts snapshot publications (nil-safe until SetObs).
+	cSwaps *obs.Counter
 }
 
 // New creates guest RAM of the given capacity. Backing memory is committed
@@ -49,11 +73,20 @@ type Memory struct {
 // on demand.
 func New(size int64) *Memory {
 	pages := (size + PageSize - 1) / PageSize
-	table := make([]int32, pages)
-	for i := range table {
-		table[i] = -1
+	m := &Memory{capacity: pages * PageSize, table: make([]atomic.Int32, pages)}
+	for i := range m.table {
+		m.table[i].Store(-1)
 	}
-	return &Memory{capacity: pages * PageSize, table: table}
+	empty := []allocation(nil)
+	m.allocs.Store(&empty)
+	return m
+}
+
+// SetObs registers the memory's snapshot-swap counter
+// ("hostmem.snapshot.swaps") in reg, making the copy-on-write churn of the
+// translation fast path observable.
+func (m *Memory) SetObs(reg *obs.Registry) {
+	m.cSwaps = reg.Counter("hostmem.snapshot.swaps")
 }
 
 // Size reports the guest RAM capacity in bytes.
@@ -81,10 +114,16 @@ func (b Buffer) Pages() []uint64 {
 	return pages
 }
 
-// Alloc reserves n bytes of page-aligned guest memory.
+// Alloc reserves n bytes of page-aligned guest memory. A zero-length request
+// returns an empty Buffer at ZeroAllocGPA: no page is mapped for it, so any
+// attempt to translate or slice through it fails cleanly instead of reading
+// the neighbor allocation that historically shared its GPA.
 func (m *Memory) Alloc(n int) (Buffer, error) {
 	if n < 0 {
 		return Buffer{}, fmt.Errorf("hostmem: negative allocation %d", n)
+	}
+	if n == 0 {
+		return Buffer{GPA: ZeroAllocGPA}, nil
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -95,10 +134,18 @@ func (m *Memory) Alloc(n int) (Buffer, error) {
 	gpa := m.next
 	m.next += aligned
 	a := allocation{startPage: gpa / PageSize, data: make([]byte, aligned)}
-	idx := int32(len(m.allocs))
-	m.allocs = append(m.allocs, a)
+	old := *m.allocs.Load()
+	snapshot := make([]allocation, len(old)+1)
+	copy(snapshot, old)
+	idx := int32(len(old))
+	snapshot[idx] = a
+	// Publish the snapshot before the table entries that reference it: a
+	// reader that observes an index is then guaranteed to find the
+	// allocation in whatever snapshot it loads afterwards.
+	m.allocs.Store(&snapshot)
+	m.cSwaps.Inc()
 	for p := a.startPage; p < a.startPage+aligned/PageSize; p++ {
-		m.table[p] = idx
+		m.table[p].Store(idx)
 	}
 	return Buffer{GPA: uint64(gpa), Data: a.data[:n:aligned]}, nil
 }
@@ -109,27 +156,33 @@ func (m *Memory) FreeAll() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.next = 0
-	m.allocs = nil
 	for i := range m.table {
-		m.table[i] = -1
+		m.table[i].Store(-1)
 	}
+	empty := []allocation(nil)
+	m.allocs.Store(&empty)
+	m.cSwaps.Inc()
 }
 
-// lookup resolves the allocation covering [gpa, gpa+n).
+// lookup resolves the allocation covering [gpa, gpa+n) without locking.
 func (m *Memory) lookup(gpa uint64, n int) (allocation, error) {
 	page := int64(gpa / PageSize)
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if n < 0 || page < 0 || page >= int64(len(m.table)) {
 		return allocation{}, fmt.Errorf("%w: GPA %#x len %d", ErrBadAddress, gpa, n)
 	}
-	idx := m.table[page]
+	idx := m.table[page].Load()
 	if idx < 0 {
 		return allocation{}, fmt.Errorf("%w: GPA %#x", ErrNotTranslated, gpa)
 	}
-	a := m.allocs[idx]
+	allocs := *m.allocs.Load()
+	if int(idx) >= len(allocs) {
+		// A racing FreeAll retired the snapshot between the table load and
+		// the allocs load; the page is gone.
+		return allocation{}, fmt.Errorf("%w: GPA %#x", ErrNotTranslated, gpa)
+	}
+	a := allocs[idx]
 	off := int64(gpa) - a.startPage*PageSize
-	if off+int64(n) > int64(len(a.data)) {
+	if off < 0 || off+int64(n) > int64(len(a.data)) {
 		return allocation{}, fmt.Errorf("%w: GPA %#x len %d crosses allocation", ErrBadAddress, gpa, n)
 	}
 	return a, nil
@@ -137,7 +190,8 @@ func (m *Memory) lookup(gpa uint64, n int) (allocation, error) {
 
 // Translate maps one guest physical page address to the host slice backing
 // it: the GPA->HVA lookup the backend performs per page of a transfer
-// matrix. The GPA must be page-aligned.
+// matrix. The GPA must be page-aligned. Translate is lock-free and safe to
+// call from many backend workers concurrently.
 func (m *Memory) Translate(gpa uint64) ([]byte, error) {
 	if gpa%PageSize != 0 {
 		return nil, fmt.Errorf("%w: GPA %#x not page aligned", ErrBadAddress, gpa)

@@ -3,8 +3,11 @@ package hostmem
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/obs"
 )
 
 func TestAllocPageAligned(t *testing.T) {
@@ -177,5 +180,106 @@ func TestSize(t *testing.T) {
 	m := New(1000) // rounds up to a page
 	if m.Size() != PageSize {
 		t.Errorf("Size = %d, want %d", m.Size(), PageSize)
+	}
+}
+
+// TestAllocZeroSentinel pins the zero-length allocation contract: a distinct
+// sentinel GPA, no mapped page, and — crucially — no aliasing of the next
+// allocation's first page (the historical bug: Alloc(0) returned the current
+// bump pointer, which the following Alloc then claimed).
+func TestAllocZeroSentinel(t *testing.T) {
+	m := New(1 << 20)
+	zero, err := m.Alloc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.GPA != ZeroAllocGPA {
+		t.Errorf("Alloc(0).GPA = %#x, want sentinel %#x", zero.GPA, ZeroAllocGPA)
+	}
+	if len(zero.Data) != 0 || zero.Pages() != nil {
+		t.Errorf("Alloc(0) must carry no data and no pages, got %d bytes %v", len(zero.Data), zero.Pages())
+	}
+	next, err := m.Alloc(PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.GPA == zero.GPA {
+		t.Errorf("zero-length allocation aliases the next allocation at %#x", next.GPA)
+	}
+	// The sentinel page must never translate or slice.
+	if _, err := m.Translate(zero.GPA); !errors.Is(err, ErrBadAddress) && !errors.Is(err, ErrNotTranslated) {
+		t.Errorf("Translate(sentinel): want a clean address error, got %v", err)
+	}
+	if _, err := m.Slice(zero.GPA, 1); err == nil {
+		t.Error("Slice(sentinel, 1) must fail")
+	}
+}
+
+// TestTranslateConcurrent hammers the lock-free read path from many
+// goroutines while a writer keeps allocating — the exact interleaving the
+// backend worker pool produces. Run under -race this is the proof the
+// snapshot-publication ordering is sound.
+func TestTranslateConcurrent(t *testing.T) {
+	m := New(64 << 20)
+	seed, err := m.Alloc(8 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seed.Data {
+		seed.Data[i] = byte(i)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, gpa := range seed.Pages() {
+					page, err := m.Translate(gpa)
+					if err != nil {
+						t.Errorf("Translate(%#x): %v", gpa, err)
+						return
+					}
+					if page[1] != 1 {
+						t.Errorf("Translate(%#x) returned foreign bytes", gpa)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := m.Alloc(PageSize); err != nil {
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotSwapCounter verifies hostmem.snapshot.swaps counts every
+// copy-on-write publication (one per Alloc, one per FreeAll).
+func TestSnapshotSwapCounter(t *testing.T) {
+	m := New(1 << 20)
+	reg := obs.NewRegistry()
+	m.SetObs(reg)
+	if _, err := m.Alloc(PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(0); err != nil { // sentinel: no snapshot swap
+		t.Fatal(err)
+	}
+	if _, err := m.Alloc(3 * PageSize); err != nil {
+		t.Fatal(err)
+	}
+	m.FreeAll()
+	if got := reg.Counter("hostmem.snapshot.swaps").Load(); got != 3 {
+		t.Errorf("hostmem.snapshot.swaps = %d, want 3 (two allocs + FreeAll)", got)
 	}
 }

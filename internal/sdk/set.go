@@ -103,18 +103,30 @@ func (s *Set) rankSpan(di int) (int, int) {
 	return lo, hi
 }
 
+// firstError selects the lowest-ranked error of a per-branch error slice:
+// the deterministic choice, independent of how branches interleave when the
+// fan-out runs on real goroutines.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Load loads the named DPU binary on every DPU of the set (dpu_load).
 func (s *Set) Load(binary string) error {
 	if s.freed {
 		return ErrFreed
 	}
-	var firstErr error
+	errs := make([]error, len(s.devs))
 	s.tl.ParN(len(s.devs), func(di int, tl *simtime.Timeline) {
-		if err := s.devs[di].LoadProgram(binary, tl); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("load rank %d: %w", di, err)
+		if err := s.devs[di].LoadProgram(binary, tl); err != nil {
+			errs[di] = fmt.Errorf("load rank %d: %w", di, err)
 		}
 	})
-	return firstErr
+	return firstError(errs)
 }
 
 // PrepareXfer stages buf as DPU dpu's slice of the next push transfer
@@ -153,7 +165,7 @@ func (s *Set) PushXfer(dir Direction, off int64, length int) error {
 			perRank[di] = append(perRank[di], DPUXfer{DPU: g - lo, Buf: buf})
 		}
 	}
-	var firstErr error
+	errs := make([]error, len(s.devs))
 	s.tl.ParN(len(s.devs), func(di int, tl *simtime.Timeline) {
 		if len(perRank[di]) == 0 {
 			return
@@ -164,10 +176,11 @@ func (s *Set) PushXfer(dir Direction, off int64, length int) error {
 		} else {
 			err = s.devs[di].ReadRank(perRank[di], off, length, tl)
 		}
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("push rank %d: %w", di, err)
+		if err != nil {
+			errs[di] = fmt.Errorf("push rank %d: %w", di, err)
 		}
 	})
+	firstErr := firstError(errs)
 	// Readbacks are reported in global DPU order, after every rank finished,
 	// so the observed stream is independent of how DPUs partition into ranks.
 	if s.observe != nil && dir == FromDPU && firstErr == nil {
@@ -255,13 +268,13 @@ func (s *Set) BroadcastSym(symbol string, off int, src []byte) error {
 	if s.freed {
 		return ErrFreed
 	}
-	var firstErr error
+	errs := make([]error, len(s.devs))
 	s.tl.ParN(len(s.devs), func(di int, tl *simtime.Timeline) {
-		if err := s.devs[di].SymBroadcast(symbol, off, src, tl); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("broadcast rank %d: %w", di, err)
+		if err := s.devs[di].SymBroadcast(symbol, off, src, tl); err != nil {
+			errs[di] = fmt.Errorf("broadcast rank %d: %w", di, err)
 		}
 	})
-	return firstErr
+	return firstError(errs)
 }
 
 // Launch synchronously runs the loaded program on every DPU of the set
@@ -270,18 +283,18 @@ func (s *Set) Launch() error {
 	if s.freed {
 		return ErrFreed
 	}
-	var firstErr error
+	errs := make([]error, len(s.devs))
 	s.tl.ParN(len(s.devs), func(di int, tl *simtime.Timeline) {
 		lo, hi := s.rankSpan(di)
 		dpus := make([]int, 0, hi-lo)
 		for g := lo; g < hi; g++ {
 			dpus = append(dpus, g-lo)
 		}
-		if err := s.devs[di].Launch(dpus, tl); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("launch rank %d: %w", di, err)
+		if err := s.devs[di].Launch(dpus, tl); err != nil {
+			errs[di] = fmt.Errorf("launch rank %d: %w", di, err)
 		}
 	})
-	return firstErr
+	return firstError(errs)
 }
 
 // LaunchAsync starts the loaded program on every DPU without waiting
@@ -290,7 +303,8 @@ func (s *Set) LaunchAsync() error {
 	if s.freed {
 		return ErrFreed
 	}
-	var firstErr error
+	errs := make([]error, len(s.devs))
+	completions := make([]simtime.Duration, len(s.devs))
 	s.tl.ParN(len(s.devs), func(di int, tl *simtime.Timeline) {
 		lo, hi := s.rankSpan(di)
 		dpus := make([]int, 0, hi-lo)
@@ -299,16 +313,17 @@ func (s *Set) LaunchAsync() error {
 		}
 		completion, err := s.devs[di].LaunchStart(dpus, tl)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("launch rank %d: %w", di, err)
-			}
+			errs[di] = fmt.Errorf("launch rank %d: %w", di, err)
 			return
 		}
+		completions[di] = completion
+	})
+	for _, completion := range completions {
 		if completion > s.asyncDone {
 			s.asyncDone = completion
 		}
-	})
-	return firstErr
+	}
+	return firstError(errs)
 }
 
 // Sync waits for an asynchronous launch to finish (dpu_sync). A no-op when

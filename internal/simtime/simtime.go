@@ -35,6 +35,13 @@ type Timeline struct {
 	now      time.Duration
 	tracker  *Tracker
 	observer SpanObserver
+	// realPar makes Par execute its branches on real goroutines (still
+	// merging virtual time as the max child finish). The VMM enables it only
+	// when the configuration guarantees branch bodies are order-independent:
+	// no span recording, no stateful fault hooks. Virtual time is unaffected
+	// either way — each branch owns its child timeline and the merge is
+	// commutative — so enabling it never changes a digest or a clock.
+	realPar bool
 }
 
 // SpanObserver receives every interval a Timeline records into its Tracker:
@@ -115,15 +122,44 @@ func (t *Timeline) Charge(category string, d time.Duration) {
 	}
 }
 
+// SetRealPar switches Par between sequential branch execution (the default,
+// deterministic on any host) and real goroutine fan-out. Child timelines
+// inherit the setting. Callers must only enable it when every Par branch in
+// scope is safe to run concurrently and order-independent in its side
+// effects; the vmm package owns that decision.
+func (t *Timeline) SetRealPar(v bool) { t.realPar = v }
+
+// RealPar reports whether Par fans out on real goroutines.
+func (t *Timeline) RealPar() bool { return t.realPar }
+
 // Par runs every branch on a child timeline starting at the current instant
 // and then advances the parent to the maximum child finish time. Branches
-// execute sequentially in real execution (determinism on any host) but
-// overlap in virtual time.
+// execute sequentially in real execution by default, overlapping only in
+// virtual time; with SetRealPar(true) they run on real goroutines and
+// overlap on the wall clock too. The virtual-time merge is identical in
+// both modes.
 func (t *Timeline) Par(branches ...func(tl *Timeline)) {
+	children := make([]*Timeline, len(branches))
+	for i := range branches {
+		children[i] = &Timeline{now: t.now, tracker: t.tracker, observer: t.observer, realPar: t.realPar}
+	}
+	if t.realPar && len(branches) > 1 {
+		var wg sync.WaitGroup
+		wg.Add(len(branches))
+		for i := range branches {
+			go func(i int) {
+				defer wg.Done()
+				branches[i](children[i])
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range branches {
+			branches[i](children[i])
+		}
+	}
 	end := t.now
-	for _, branch := range branches {
-		child := &Timeline{now: t.now, tracker: t.tracker, observer: t.observer}
-		branch(child)
+	for _, child := range children {
 		if child.now > end {
 			end = child.now
 		}

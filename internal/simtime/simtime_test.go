@@ -192,6 +192,66 @@ func TestTrackerString(t *testing.T) {
 	}
 }
 
+// TestParRealGoroutinesSameMerge is the core real-concurrency contract: with
+// SetRealPar(true) the branches run on real goroutines, but the virtual merge
+// (start + max child advance) is bit-identical to the sequential mode.
+func TestParRealGoroutinesSameMerge(t *testing.T) {
+	for _, real := range []bool{false, true} {
+		tl := New()
+		tl.SetRealPar(real)
+		tl.Advance(time.Millisecond)
+		tl.Par(
+			func(tl *Timeline) { tl.Advance(3 * time.Millisecond) },
+			func(tl *Timeline) { tl.Advance(7 * time.Millisecond) },
+			func(tl *Timeline) { tl.Advance(2 * time.Millisecond) },
+		)
+		if got := tl.Now(); got != 8*time.Millisecond {
+			t.Errorf("realPar=%v: Par end = %v, want 8ms", real, got)
+		}
+	}
+}
+
+// TestParRealInherited: children of a real-parallel timeline fan out for
+// real too (nested ParN), and the merge still matches the sequential law.
+func TestParRealInherited(t *testing.T) {
+	tl := New()
+	tl.SetRealPar(true)
+	if !tl.RealPar() {
+		t.Fatal("SetRealPar(true) not reflected by RealPar()")
+	}
+	tl.Par(
+		func(tl *Timeline) {
+			if !tl.RealPar() {
+				t.Error("child timeline did not inherit realPar")
+			}
+			tl.ParN(4, func(i int, tl *Timeline) {
+				tl.Advance(time.Duration(i+1) * time.Millisecond)
+			})
+		},
+		func(tl *Timeline) { tl.Advance(time.Millisecond) },
+	)
+	if got := tl.Now(); got != 4*time.Millisecond {
+		t.Errorf("nested real Par = %v, want 4ms", got)
+	}
+}
+
+// TestParRealTrackerCharges: concurrent branches charging the shared tracker
+// must not lose updates (Tracker is mutex-protected; run under -race).
+func TestParRealTrackerCharges(t *testing.T) {
+	tr := NewTracker()
+	tl := New()
+	tl.SetRealPar(true)
+	tl.Attach(tr)
+	tl.ParN(16, func(i int, tl *Timeline) {
+		for j := 0; j < 50; j++ {
+			tl.Charge("c", time.Microsecond)
+		}
+	})
+	if got := tr.Get("c"); got != 800*time.Microsecond {
+		t.Errorf("concurrent charges = %v, want 800µs", got)
+	}
+}
+
 func TestNilTrackerSafe(t *testing.T) {
 	var tr *Tracker
 	tr.Add("x", time.Second) // must not panic

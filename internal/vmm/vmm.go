@@ -6,6 +6,7 @@ package vmm
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/backend"
 	"repro/internal/cost"
@@ -40,6 +41,14 @@ type Options struct {
 	// future work: requests short-circuit in the host kernel instead of
 	// round-tripping through the VMM process, shrinking transition costs.
 	VhostVsock bool
+	// HostWorkers bounds the real host-side concurrency of the backend data
+	// path: how many worker-pool shards one request's rows may occupy, and
+	// (together with Parallel) whether multi-rank requests fan out on real
+	// goroutines. 0 selects GOMAXPROCS; 1 forces the fully sequential twin,
+	// which produces bit-identical digests, traces and virtual clocks — the
+	// conformance matrix compares the two. Virtual time never depends on
+	// this knob.
+	HostWorkers int
 	// Driver overrides optimization geometry (cache/batch sizes).
 	Driver driver.Options
 }
@@ -137,6 +146,14 @@ type VM struct {
 	reg *obs.Registry
 	rec *obs.Recorder
 
+	// hostWorkers is the resolved Options.HostWorkers (GOMAXPROCS default);
+	// chainFaulted/backendFaulted track injected fault hooks, which force
+	// the rank fan-out back onto one goroutine so stateful chaos hooks are
+	// consulted in a deterministic order.
+	hostWorkers    int
+	chainFaulted   bool
+	backendFaulted bool
+
 	bootTime simtime.Duration
 }
 
@@ -182,6 +199,11 @@ func NewVM(mach *pim.Machine, mgr *manager.Manager, cfg Config) (*VM, error) {
 		rec:     rec,
 	}
 	vm.path.SetObs(reg)
+	vm.mem.SetObs(reg)
+	vm.hostWorkers = cfg.Options.HostWorkers
+	if vm.hostWorkers == 0 {
+		vm.hostWorkers = runtime.GOMAXPROCS(0)
+	}
 
 	dopts := cfg.Options.Driver
 	dopts.Prefetch = cfg.Options.Prefetch
@@ -194,6 +216,7 @@ func NewVM(mach *pim.Machine, mgr *manager.Manager, cfg Config) (*VM, error) {
 		cq.SetObs(reg, id)
 		back := backend.New(id, mach, mgr, vm.mem, cfg.Options.Engine, vm.loop)
 		back.SetOversubscribe(cfg.Options.Oversubscribe)
+		back.SetHostWorkers(vm.hostWorkers)
 		back.SetObs(reg, rec)
 		tq.SetHandler(back.HandleTransfer)
 		cq.SetHandler(back.HandleControl)
@@ -206,7 +229,23 @@ func NewVM(mach *pim.Machine, mgr *manager.Manager, cfg Config) (*VM, error) {
 		tl.Advance(model.BootPerDevice)
 	}
 	vm.bootTime = tl.Now()
+	vm.updateRealPar()
 	return vm, nil
+}
+
+// updateRealPar decides whether the VM's Par sections (the multi-rank
+// fan-out the Parallel event loop models) run on real goroutines. They do
+// only when every branch body is order-independent: span recording off (the
+// trace is an ordered event stream) and no injected fault hooks (chaos
+// fuses are stateful countdowns whose consultation order seeds replay on).
+// Virtual time is identical either way; this gate only protects the
+// determinism of traces and chaos outcomes.
+func (vm *VM) updateRealPar() {
+	vm.tl.SetRealPar(vm.cfg.Options.Parallel &&
+		vm.hostWorkers > 1 &&
+		!vm.rec.Enabled() &&
+		!vm.chainFaulted &&
+		!vm.backendFaulted)
 }
 
 // Name reports the VM name.
@@ -245,8 +284,13 @@ func (vm *VM) Registry() *obs.Registry { return vm.reg }
 func (vm *VM) Metrics() map[string]int64 { return vm.reg.Snapshot() }
 
 // EnableTracing switches per-request span recording on (off by default;
-// the counters are always live).
-func (vm *VM) EnableTracing() { vm.rec.Enable() }
+// the counters are always live). Recording orders events on one stream, so
+// it also parks the rank fan-out back onto a single goroutine, keeping
+// TraceJSON byte-identical across runs and host-worker settings.
+func (vm *VM) EnableTracing() {
+	vm.rec.Enable()
+	vm.updateRealPar()
+}
 
 // Recorder exposes the VM's span recorder.
 func (vm *VM) Recorder() *obs.Recorder { return vm.rec }
@@ -269,6 +313,8 @@ func (vm *VM) InjectChainFault(f virtio.ChainFault) {
 	for _, q := range vm.cqs {
 		q.SetFault(f)
 	}
+	vm.chainFaulted = f != nil
+	vm.updateRealPar()
 }
 
 // InjectBackendFault installs a backend fault policy (translate/copy
@@ -277,6 +323,8 @@ func (vm *VM) InjectBackendFault(p *backend.FaultPolicy) {
 	for _, b := range vm.backs {
 		b.SetFault(p)
 	}
+	vm.backendFaulted = p != nil
+	vm.updateRealPar()
 }
 
 // MigrateRank transparently consolidates one vUPMEM device onto another
