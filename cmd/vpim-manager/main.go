@@ -39,13 +39,27 @@ func main() {
 		retries = flag.Int("retries", 3, "allocation poll attempts before abandoning")
 		timeout = flag.Duration("retry-timeout", 100*time.Millisecond, "first allocation poll interval")
 		backoff = flag.Float64("backoff", 2, "poll-interval multiplier per failed attempt")
+		sched   = flag.String("sched", "none", "oversubscription policy: none (FIFO wait) or slice (preemptive time-slicing)")
+		quantum = flag.Duration("quantum", 5*time.Millisecond, "virtual runtime per slice before a tenant becomes preemptible (-sched slice)")
 	)
 	flag.Parse()
+	var policy manager.SchedPolicy
+	switch *sched {
+	case "none":
+		policy = manager.SchedNone
+	case "slice":
+		policy = manager.SchedSlice
+	default:
+		fmt.Fprintf(os.Stderr, "vpim-manager: unknown -sched policy %q (want none or slice)\n", *sched)
+		os.Exit(2)
+	}
 	opts := manager.Options{
 		Threads:      *threads,
 		Retries:      *retries,
 		RetryTimeout: *timeout,
 		Backoff:      *backoff,
+		SchedPolicy:  policy,
+		Quantum:      *quantum,
 	}
 	if err := run(*socket, *ranks, *dpus, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "vpim-manager:", err)

@@ -73,6 +73,55 @@ func TestChaosSeedsReplayable(t *testing.T) {
 	}
 }
 
+// TestConformanceTimeSliced boots twice as many VMs as the machine has
+// ranks and runs each application in all of them concurrently under the
+// manager's preemptive time-slicing scheduler: every VM's digest must be
+// bit-identical to the native reference (preemption may only move time,
+// never bytes), the scheduler must demonstrably preempt and restore, and
+// teardown must leave no ALLO rank and no parked snapshot.
+func TestConformanceTimeSliced(t *testing.T) {
+	names := []string{"RED", "SEL", "TRNS", "SCAN-SSA"}
+	if testing.Short() || raceEnabled {
+		names = names[:2]
+	}
+	for _, n := range names {
+		app, err := prim.Lookup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conformance.RunTimeSliced(app, t.Logf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestChaosSchedReplayable runs each scheduler chaos seed twice
+// (preemption racing rank death, restore-target failure, migration under
+// time-slicing) and asserts the outcomes — step logs, counter snapshots,
+// per-owner scheduling stats — are identical.
+func TestChaosSchedReplayable(t *testing.T) {
+	seeds := []int64{3, 11, 29, 47, 101}
+	if testing.Short() || raceEnabled {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		first, err := conformance.RunSchedChaos(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		second, err := conformance.RunSchedChaos(seed)
+		if err != nil {
+			t.Fatalf("seed %d replay: %v", seed, err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("seed %d is not replayable:\n first: %+v\nsecond: %+v", seed, first, second)
+		}
+		t.Logf("seed %d: %d steps logged, preemptions=%d restores=%d quarantines=%d",
+			seed, len(first.Log), first.Manager["manager.preemptions"],
+			first.Manager["manager.restores"], first.Manager["manager.quarantines"])
+	}
+}
+
 // TestChaosCatchesPlantedBatchClipBug proves the harness detects silent
 // corruption: the probe passes against the shipping driver and fails when
 // the historical batch-clipping bug is re-introduced via the test hook.

@@ -8,6 +8,7 @@ package backend
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/cost"
@@ -166,11 +167,14 @@ func (b *Backend) Migrate(tl *simtime.Timeline) error {
 	if b.simulated {
 		return fmt.Errorf("backend %s: simulated ranks do not migrate", b.id)
 	}
-	dst, dur, err := b.mgr.Migrate(b.rank)
+	dst, dur, err := b.mgr.MigrateOwned(b.id, b.rank)
+	// Preparation work (a target reset, a checkpoint copy) is charged even
+	// when the migration fails: the manager really performed it on this
+	// device's behalf.
+	tl.Charge(trace.OpAlloc, dur)
 	if err != nil {
 		return fmt.Errorf("migrate %s: %w", b.id, err)
 	}
-	tl.Charge(trace.OpAlloc, dur)
 	b.rank = dst
 	return nil
 }
@@ -255,22 +259,44 @@ func (b *Backend) HandleTransfer(chain *virtio.Chain, tl *simtime.Timeline) erro
 		return fmt.Errorf("backend %s: %w", b.id, ErrNoRank)
 	}
 	if !b.simulated {
-		// Fault tolerance: a physically-backed rank may have died since the
-		// last request (manager.FaultPolicy.RankDead). The manager
-		// quarantines it; with oversubscription the device fails over to a
-		// blank simulated rank (the tenant survives, though the dead rank's
-		// MRAM contents are lost), otherwise the request errors.
-		if cerr := b.mgr.CheckRank(b.rank); cerr != nil {
+		// Acquire pins the rank for this operation. It revalidates against
+		// the fault policy (a physically-backed rank may have died since
+		// the last request) and, when the manager's time-slicing scheduler
+		// preempted this tenant, blocks to restore the parked snapshot onto
+		// a fresh rank — possibly a different index, transparent to the
+		// guest. With oversubscription a dead rank (or an unrecoverable
+		// resume) fails over to a blank simulated rank: the tenant
+		// survives, though the rank's MRAM contents are lost.
+		rank, acost, aerr := b.mgr.Acquire(b.id, b.rank)
+		if aerr != nil {
 			if !b.oversubscribe {
-				b.rank = nil
+				if errors.Is(aerr, manager.ErrRankFaulted) {
+					b.rank = nil
+				}
 				b.writeStatus(status, virtio.StatusError)
-				return fmt.Errorf("backend %s: %w", b.id, cerr)
+				return fmt.Errorf("backend %s: %w", b.id, aerr)
 			}
 			b.cFailovers.Inc()
+			// Any parked snapshot cannot follow the device onto the
+			// simulator; drop it like the dead rank's contents.
+			b.mgr.Discard(b.id)
 			if serr := b.attachSimulated(); serr != nil {
 				b.writeStatus(status, virtio.StatusError)
 				return fmt.Errorf("backend %s failover: %w", b.id, serr)
 			}
+		} else {
+			b.rank = rank
+			tl.Charge(trace.OpAlloc, acost.Wait)
+			tl.Charge(trace.OpCheckpoint, acost.Checkpoint)
+			tl.Charge(trace.OpRestore, acost.Restore)
+			// The operation's own virtual time — measured from after the
+			// resume charges — feeds the owner's scheduling quantum.
+			opStart := tl.Now()
+			defer func() {
+				if b.rank == rank {
+					b.mgr.EndOp(rank, tl.Now()-opStart)
+				}
+			}()
 		}
 	}
 	if err := b.dispatch(req, chain, status, tl); err != nil {
@@ -424,8 +450,11 @@ func (b *Backend) handleRelease(tl *simtime.Timeline) error {
 	// them is the release.
 	if !b.simulated {
 		// The VM does not talk to the manager here: releasing updates the
-		// rank's status (sysfs), and the manager's observer notices.
-		if err := b.mgr.Release(b.rank); err != nil {
+		// rank's status (sysfs), and the manager's observer notices. The
+		// owner-keyed form resolves the preemption race: if the scheduler
+		// parked this tenant, the snapshot is discarded and the rank (which
+		// may already serve someone else) is left untouched.
+		if err := b.mgr.ReleaseOwned(b.id, b.rank); err != nil {
 			return err
 		}
 	}

@@ -94,6 +94,8 @@ type chaosPlan struct {
 
 	rankDead  map[int]*fuse
 	failReset *fuse
+	failCkpt  *fuse
+	failRest  *fuse
 
 	stallEvery int
 	stall      time.Duration
@@ -124,6 +126,17 @@ func compilePlan(rng *rand.Rand) *chaosPlan {
 	if rng.Intn(2) == 1 {
 		p.failReset = &fuse{after: after, hold: hold}
 	}
+	// Checkpoint/restore faults hit the migration path and the preemptive
+	// scheduler (a failed restore quarantines the target; a failed
+	// checkpoint abandons the preemption).
+	after, hold = rng.Intn(6), 1+rng.Intn(2)
+	if rng.Intn(2) == 1 {
+		p.failCkpt = &fuse{after: after, hold: hold}
+	}
+	after, hold = rng.Intn(6), 1+rng.Intn(2)
+	if rng.Intn(2) == 1 {
+		p.failRest = &fuse{after: after, hold: hold}
+	}
 	p.stallEvery = 1 + rng.Intn(4)
 	p.stall = time.Duration(rng.Intn(2000)) * time.Microsecond
 	after, hold = 20+rng.Intn(600), 1+rng.Intn(3)
@@ -149,6 +162,12 @@ func (p *chaosPlan) managerPolicy() *manager.FaultPolicy {
 		},
 		FailReset: func(rank int) bool {
 			return !p.disabled && p.failReset.trip()
+		},
+		FailCheckpoint: func(rank int) bool {
+			return !p.disabled && p.failCkpt.trip()
+		},
+		FailRestore: func(rank int) bool {
+			return !p.disabled && p.failRest.trip()
 		},
 		AllocStall: func(owner string) time.Duration {
 			if p.disabled {
@@ -343,6 +362,9 @@ func quiesce(vm *vmm.VM, mgr *manager.Manager, plan *chaosPlan) error {
 	}
 	if n := mgr.Waiters(); n != 0 {
 		return invariantError{fmt.Errorf("cleanup: %d waiters still parked", n)}
+	}
+	if parked := mgr.Parked(); len(parked) != 0 {
+		return invariantError{fmt.Errorf("cleanup: snapshots still parked: %v", parked)}
 	}
 	return detachErr
 }

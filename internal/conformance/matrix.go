@@ -28,6 +28,11 @@ type Config struct {
 	// physical ranks for the whole run, forcing this VM's second vUPMEM
 	// device onto a software-simulated rank (multi-VM oversubscription).
 	Oversub bool
+	// TimeSlice runs the oversubscribed time-slicing scenario instead: two
+	// resident VMs occupy every physical rank, the manager's preemptive
+	// scheduler evicts them to admit this VM, and their checkpointed bytes
+	// must survive the park/restore round trip (timeslice.go).
+	TimeSlice bool
 }
 
 // Configs returns the conformance matrix: the native reference plus every
@@ -54,6 +59,7 @@ func Configs() []Config {
 		{Name: "vPIM-vhost", Opts: vmm.Options{Engine: cost.EngineC, Prefetch: true, Batch: true, Parallel: true, VhostVsock: true}},
 		{Name: "vPIM-rust-full", Opts: vmm.Options{Engine: cost.EngineRust, Prefetch: true, Batch: true, Parallel: true}},
 		{Name: "vPIM-oversub", Opts: vmm.Options{Engine: cost.EngineC, Prefetch: true, Batch: true, Parallel: true, Oversubscribe: true}, Oversub: true},
+		{Name: "vPIM-sched", Opts: vmm.Full(), TimeSlice: true},
 	}
 }
 
@@ -75,6 +81,9 @@ func runConfig(cfg Config, app prim.App) (runResult, error) {
 	if cfg.Native {
 		dg, err := nativeReference(app)
 		return runResult{digest: dg}, err
+	}
+	if cfg.TimeSlice {
+		return runTimeSliceCell(app)
 	}
 	mach, mgr, err := newMachine()
 	if err != nil {

@@ -73,6 +73,9 @@ var (
 	// injection); the rank has been quarantined and the owner must fail
 	// over or re-attach.
 	ErrRankFaulted = errors.New("manager: rank faulted")
+	// ErrRankBusy reports a migration attempt against a rank with an
+	// operation in flight (pinned by Acquire).
+	ErrRankBusy = errors.New("manager: rank busy")
 )
 
 // Options tunes the manager. Zero values select the prototype's defaults.
@@ -90,6 +93,12 @@ type Options struct {
 	// (exponential backoff). Values below 1 are treated as 1 (constant
 	// interval); 0 selects the default of 2.
 	Backoff float64
+	// SchedPolicy selects how oversubscription is arbitrated; the default
+	// SchedNone keeps the pure FIFO wait queue (see scheduler.go).
+	SchedPolicy SchedPolicy
+	// Quantum is the virtual runtime a tenant may accumulate on a rank
+	// before it becomes preemptible under SchedSlice; 0 selects 5 ms.
+	Quantum time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +116,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Backoff < 1 {
 		o.Backoff = 1
+	}
+	if o.Quantum == 0 {
+		o.Quantum = 5 * time.Millisecond
 	}
 	return o
 }
@@ -126,6 +138,14 @@ type FaultPolicy struct {
 	// quarantined when the manager is about to hand them out, or when
 	// CheckRank observes the death on an allocated rank.
 	RankDead func(rank int) bool
+	// FailCheckpoint reports whether checkpointing the given rank fails
+	// (the snapshot copy off a rank being preempted or migrated). The rank
+	// keeps running; the preemption or migration is abandoned.
+	FailCheckpoint func(rank int) bool
+	// FailRestore reports whether restoring a snapshot onto the given rank
+	// fails. A failed restore leaves the target with an unknown mix of
+	// tenant bytes, so the manager quarantines it.
+	FailRestore func(rank int) bool
 }
 
 type entry struct {
@@ -133,6 +153,13 @@ type entry struct {
 	state     RankState
 	owner     string
 	prevOwner string
+	// pins counts operations in flight on an ALLO rank (Acquire/EndOp);
+	// the scheduler never preempts a pinned rank.
+	pins int
+	// debt is checkpoint work performed to free this rank that nobody has
+	// been charged for yet; the next grantee (or the observer's reset
+	// pass) absorbs it into its virtual clock.
+	debt time.Duration
 }
 
 // waiter is one queued allocation request. The grant is delivered through
@@ -143,10 +170,12 @@ type waiter struct {
 }
 
 // grant is the outcome handed to a waiter: a rank plus the extra virtual
-// cost its preparation incurred (a reset), or a terminal error.
+// cost its preparation incurred (a reset, and/or the checkpoint debt of a
+// preempted previous tenant), or a terminal error.
 type grant struct {
 	rank  *pim.Rank
 	extra time.Duration
+	ck    time.Duration // absorbed checkpoint debt (reported separately)
 	err   error
 }
 
@@ -171,6 +200,13 @@ type Manager struct {
 	closed  bool
 	fault   *FaultPolicy
 
+	// Time-slicing scheduler state (scheduler.go): parked snapshots of
+	// preempted tenants, per-owner quantum accounts, and the aging level
+	// of the current head waiter.
+	parked       map[string]*parkedSnap
+	stats        map[string]*ownerStat
+	schedStarved int
+
 	// Registry-backed counters; the METRICS socket verb snapshots reg.
 	reg          *obs.Registry
 	cGranted     *obs.Counter
@@ -179,6 +215,10 @@ type Manager struct {
 	cReleases    *obs.Counter
 	cResets      *obs.Counter
 	cQuarantines *obs.Counter
+	cPreempt     *obs.Counter
+	cRestores    *obs.Counter
+	cSchedWait   *obs.Counter
+	cMigrations  *obs.Counter
 }
 
 // New builds a manager over the machine's ranks; all start NAAV.
@@ -193,6 +233,8 @@ func New(machine *pim.Machine, opts Options) *Manager {
 		opts:         opts.withDefaults(),
 		allocLatency: machine.Model().ManagerAllocLatency,
 		entries:      entries,
+		parked:       make(map[string]*parkedSnap),
+		stats:        make(map[string]*ownerStat),
 		reg:          reg,
 		cGranted:     reg.Counter("manager.allocs.granted"),
 		cParked:      reg.Counter("manager.allocs.parked"),
@@ -200,6 +242,10 @@ func New(machine *pim.Machine, opts Options) *Manager {
 		cReleases:    reg.Counter("manager.releases"),
 		cResets:      reg.Counter("manager.resets"),
 		cQuarantines: reg.Counter("manager.quarantines"),
+		cPreempt:     reg.Counter("manager.preemptions"),
+		cRestores:    reg.Counter("manager.restores"),
+		cSchedWait:   reg.Counter("manager.sched.wait"),
+		cMigrations:  reg.Counter("manager.migrations"),
 	}
 }
 
@@ -227,14 +273,18 @@ func (m *Manager) SetFaultPolicy(p *FaultPolicy) {
 // latency charges exactly the poll intervals the requester slept — the
 // manager has no timeline of its own, so the requesting VM charges it.
 func (m *Manager) Alloc(owner string) (*pim.Rank, time.Duration, error) {
-	return m.alloc(owner, allocHooks{})
+	rank, wait, ck, err := m.alloc(owner, allocHooks{})
+	return rank, wait + ck, err
 }
 
-func (m *Manager) alloc(owner string, hooks allocHooks) (*pim.Rank, time.Duration, error) {
+// alloc is the blocking allocation core. It reports the waiting/allocation
+// latency and, separately, any absorbed checkpoint debt so callers that
+// itemize costs (Acquire) can attribute the two on different trace lanes.
+func (m *Manager) alloc(owner string, hooks allocHooks) (*pim.Rank, time.Duration, time.Duration, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return nil, 0, ErrClosed
+		return nil, 0, 0, ErrClosed
 	}
 	var stall time.Duration
 	if m.fault != nil && m.fault.AllocStall != nil {
@@ -245,12 +295,16 @@ func (m *Manager) alloc(owner string, hooks allocHooks) (*pim.Rank, time.Duratio
 	if len(m.waiters) == 0 {
 		if g, ok := m.tryGrantLocked(owner); ok {
 			m.mu.Unlock()
-			return g.rank, m.allocLatency + g.extra + stall, nil
+			return g.rank, m.allocLatency + g.extra + stall, g.ck, nil
 		}
 	}
 	w := &waiter{owner: owner, ready: make(chan grant, 1)}
 	m.waiters = append(m.waiters, w)
 	m.cParked.Inc()
+	// A parked request is the scheduler's trigger: under SchedSlice a
+	// resident tenant past its quantum is checkpointed off its rank so the
+	// queue keeps moving even when nobody releases voluntarily.
+	m.scheduleLocked()
 	m.mu.Unlock()
 
 	if hooks.park != nil {
@@ -269,17 +323,31 @@ func (m *Manager) alloc(owner string, hooks allocHooks) (*pim.Rank, time.Duratio
 	interval := m.opts.RetryTimeout
 	timer := time.NewTimer(interval)
 	defer timer.Stop()
+	finish := func(g grant) (*pim.Rank, time.Duration, time.Duration, error) {
+		unpark()
+		if g.err != nil {
+			return nil, waited, 0, g.err
+		}
+		return g.rank, waited + m.allocLatency + g.extra, g.ck, nil
+	}
 	for attempt := 1; ; attempt++ {
 		select {
 		case g := <-w.ready:
 			waited += interval
-			unpark()
-			if g.err != nil {
-				return nil, waited, g.err
-			}
-			return g.rank, waited + m.allocLatency + g.extra, nil
+			return finish(g)
 		case <-timer.C:
 			waited += interval
+			// Each wake is a scheduling point: the pass ages the head
+			// waiter, so a starved request eventually preempts a resident
+			// tenant even when every owner is still under its quantum.
+			m.mu.Lock()
+			m.scheduleLocked()
+			m.mu.Unlock()
+			select {
+			case g := <-w.ready:
+				return finish(g)
+			default:
+			}
 			if attempt >= m.opts.Retries {
 				m.mu.Lock()
 				removed := m.removeWaiterLocked(w)
@@ -287,16 +355,11 @@ func (m *Manager) alloc(owner string, hooks allocHooks) (*pim.Rank, time.Duratio
 				if removed {
 					m.cTimedout.Inc()
 					unpark()
-					return nil, waited, ErrNoRanks
+					return nil, waited, 0, ErrNoRanks
 				}
 				// A grant raced with the abandonment; it was sent before
 				// the waiter left the queue, so it is already buffered.
-				g := <-w.ready
-				unpark()
-				if g.err != nil {
-					return nil, waited, g.err
-				}
-				return g.rank, waited + m.allocLatency + g.extra, nil
+				return finish(<-w.ready)
 			}
 			interval = time.Duration(float64(interval) * m.opts.Backoff)
 			timer.Reset(interval)
@@ -310,14 +373,15 @@ func (m *Manager) alloc(owner string, hooks allocHooks) (*pim.Rank, time.Duratio
 // and skipped.
 func (m *Manager) tryGrantLocked(owner string) (grant, bool) {
 	// 1. Prefer a NANA rank previously owned by the requester: no reset
-	// needed, saving CPU cycles (Section 3.5).
+	// needed, saving CPU cycles (Section 3.5). This also covers an owner
+	// resuming onto the very rank it was preempted off.
 	for i := range m.entries {
 		e := &m.entries[i]
 		if e.state == StateNANA && e.prevOwner == owner && m.usableLocked(e) {
 			e.state = StateALLO
 			e.owner = owner
 			m.cGranted.Inc()
-			return grant{rank: e.rank}, true
+			return grant{rank: e.rank, ck: m.takeDebtLocked(e)}, true
 		}
 	}
 	// 2. Round-robin over NAAV ranks.
@@ -330,7 +394,7 @@ func (m *Manager) tryGrantLocked(owner string) (grant, bool) {
 			e.owner = owner
 			m.rrNext = (i + 1) % n
 			m.cGranted.Inc()
-			return grant{rank: e.rank}, true
+			return grant{rank: e.rank, ck: m.takeDebtLocked(e)}, true
 		}
 	}
 	// 3. Reset a foreign NANA rank; the requester waits out the memset.
@@ -343,10 +407,18 @@ func (m *Manager) tryGrantLocked(owner string) (grant, bool) {
 			e.state = StateALLO
 			e.owner = owner
 			m.cGranted.Inc()
-			return grant{rank: e.rank, extra: e.rank.ResetDuration()}, true
+			return grant{rank: e.rank, extra: e.rank.ResetDuration(), ck: m.takeDebtLocked(e)}, true
 		}
 	}
 	return grant{}, false
+}
+
+// takeDebtLocked transfers a rank's outstanding checkpoint debt (the copy
+// that freed it during a preemption) to the caller, who charges it.
+func (m *Manager) takeDebtLocked(e *entry) time.Duration {
+	d := e.debt
+	e.debt = 0
+	return d
 }
 
 // grantWaitersLocked serves queued requests strictly in FIFO order for as
@@ -400,6 +472,8 @@ func (m *Manager) quarantineLocked(e *entry) {
 	e.state = StateQUAR
 	e.owner = ""
 	e.prevOwner = ""
+	e.pins = 0
+	e.debt = 0 // the rank is out of service; nobody inherits its debt
 	m.cQuarantines.Inc()
 }
 
@@ -413,24 +487,46 @@ func (m *Manager) quarantineLocked(e *entry) {
 func (m *Manager) Release(r *pim.Rank) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	e := m.entryLocked(r)
+	if e == nil {
+		return fmt.Errorf("%w: unknown rank", ErrNotAllocated)
+	}
+	if e.state == StateQUAR {
+		return nil
+	}
+	if e.state != StateALLO {
+		return fmt.Errorf("%w: rank %d in %v", ErrNotAllocated, r.Index(), e.state)
+	}
+	m.releaseEntryLocked(e)
+	return nil
+}
+
+// releaseEntryLocked moves an ALLO entry to NANA and serves the queue. The
+// departing owner's slice account resets so its next residency starts a
+// fresh quantum.
+func (m *Manager) releaseEntryLocked(e *entry) {
+	if st := m.stats[e.owner]; st != nil {
+		st.slice = 0
+	}
+	e.state = StateNANA
+	e.prevOwner = e.owner
+	e.owner = ""
+	e.pins = 0
+	m.cReleases.Inc()
+	m.grantWaitersLocked()
+}
+
+// entryLocked finds the table entry for a rank (nil for nil or unknown).
+func (m *Manager) entryLocked(r *pim.Rank) *entry {
+	if r == nil {
+		return nil
+	}
 	for i := range m.entries {
-		e := &m.entries[i]
-		if e.rank == r {
-			if e.state == StateQUAR {
-				return nil
-			}
-			if e.state != StateALLO {
-				return fmt.Errorf("%w: rank %d in %v", ErrNotAllocated, r.Index(), e.state)
-			}
-			e.state = StateNANA
-			e.prevOwner = e.owner
-			e.owner = ""
-			m.cReleases.Inc()
-			m.grantWaitersLocked()
-			return nil
+		if m.entries[i].rank == r {
+			return &m.entries[i]
 		}
 	}
-	return fmt.Errorf("%w: unknown rank", ErrNotAllocated)
+	return nil
 }
 
 // ProcessResets performs the observer thread's background work: erase every
@@ -448,12 +544,16 @@ func (m *Manager) ProcessResets() time.Duration {
 			if !m.resetLocked(e) {
 				continue
 			}
-			total += e.rank.ResetDuration()
+			// The observer's thread absorbs any checkpoint debt left on
+			// the rank: the preempted tenant never resumed here, so the
+			// background erase pays for the copy too.
+			total += e.rank.ResetDuration() + m.takeDebtLocked(e)
 			e.state = StateNAAV
 			e.prevOwner = ""
 		}
 	}
 	m.grantWaitersLocked()
+	m.scheduleLocked()
 	return total
 }
 
@@ -523,6 +623,8 @@ func (m *Manager) Close() {
 		w.ready <- grant{err: ErrClosed}
 	}
 	m.waiters = nil
+	// Parked snapshots can never resume once allocation is closed.
+	m.parked = make(map[string]*parkedSnap)
 }
 
 // AcquireNative reserves ranks covering nrDPUs for a host-native
@@ -548,11 +650,15 @@ func (m *Manager) AcquireNative(nrDPUs int) ([]*pim.Rank, error) {
 			if !m.usableLocked(e) || !m.resetLocked(e) {
 				continue
 			}
+			// Native acquisitions bypass virtual-clock charging entirely,
+			// so any checkpoint debt on the rank is dropped rather than
+			// charged to a tenant that never sees a clock.
+			e.debt = 0
 		default:
 			continue
 		}
 		e.state = StateALLO
-		e.owner = "native"
+		e.owner = nativeOwner
 		picked = append(picked, e.rank)
 		covered += e.rank.NumDPUs()
 	}

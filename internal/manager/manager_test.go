@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"encoding/json"
 	"errors"
 	"net"
 	"path/filepath"
@@ -264,6 +265,47 @@ func TestServer(t *testing.T) {
 	}
 
 	closeClient()
+	srv.Shutdown()
+	if err := <-done; err != nil {
+		t.Errorf("Serve returned %v", err)
+	}
+}
+
+// TestServerOverlongLine sends a request line past the scanner's 64 KiB
+// limit: the server must answer with an error reply before closing the
+// connection instead of hanging up silently and leaving the client to
+// diagnose an EOF.
+func TestServerOverlongLine(t *testing.T) {
+	mgr := New(testMachine(t, 1), Options{})
+	srv := NewServer(mgr)
+	sock := filepath.Join(t.TempDir(), "mgr.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	huge := make([]byte, 80<<10)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	if _, err := conn.Write(append(huge, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("no reply for an overlong line: %v", err)
+	}
+	if resp.OK || resp.Error == "" {
+		t.Errorf("overlong line must produce an error reply, got %+v", resp)
+	}
+	_ = conn.Close()
 	srv.Shutdown()
 	if err := <-done; err != nil {
 		t.Errorf("Serve returned %v", err)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+	"time"
 )
 
 func TestMigrate(t *testing.T) {
@@ -153,6 +154,122 @@ func TestMigrateRacesRankDeath(t *testing.T) {
 	}
 	if err := dst.ReadDPU(0, 0, got); err != nil || !bytes.Equal(got, []byte("survivor")) {
 		t.Errorf("failed migration must not disturb source contents: %q, %v", got, err)
+	}
+}
+
+// TestMigrateCountsMigrationsNotGrants pins the accounting contract: a
+// consolidation move does not change admission, so it must increment
+// manager.migrations and leave the grant counter alone.
+func TestMigrateCountsMigrationsNotGrants(t *testing.T) {
+	mgr := New(testMachine(t, 2), Options{})
+	src, _, err := mgr.Alloc("tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grants := mgr.Allocations()
+	if _, _, err := mgr.Migrate(src); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Allocations(); got != grants {
+		t.Errorf("grants went %d -> %d across a migration: a move is not an admission", grants, got)
+	}
+	if n := mgr.Migrations(); n != 1 {
+		t.Errorf("migrations = %d, want 1", n)
+	}
+	mt := mgr.Metrics()
+	if mt["manager.migrations"] != 1 {
+		t.Errorf("manager.migrations metric = %d, want 1", mt["manager.migrations"])
+	}
+	if mt["manager.allocs.granted"] != grants {
+		t.Errorf("manager.allocs.granted metric = %d, want %d", mt["manager.allocs.granted"], grants)
+	}
+}
+
+// TestMigrateRestoreFailureQuarantinesTarget fails the restore half of a
+// migration: the half-written target must be quarantined, the source must
+// stay allocated with its contents intact, and the checkpoint work that did
+// happen must still be charged.
+func TestMigrateRestoreFailureQuarantinesTarget(t *testing.T) {
+	mgr := New(testMachine(t, 2), Options{})
+	src, _, err := mgr.Alloc("tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WriteDPU(0, 0, []byte("stay put")); err != nil {
+		t.Fatal(err)
+	}
+	mgr.SetFaultPolicy(&FaultPolicy{FailRestore: func(rank int) bool { return rank != src.Index() }})
+	_, dur, err := mgr.Migrate(src)
+	if err == nil {
+		t.Fatal("migration with a failing restore must error")
+	}
+	if dur <= 0 {
+		t.Error("the checkpoint copy that ran must be charged even though the migration failed")
+	}
+	target := 1 - src.Index()
+	if st := mgr.States()[target]; st != StateQUAR {
+		t.Errorf("restore-failed target is %v, want QUAR", st)
+	}
+	if st := mgr.States()[src.Index()]; st != StateALLO {
+		t.Errorf("source is %v after failed migration, want ALLO", st)
+	}
+	got := make([]byte, 8)
+	if err := src.ReadDPU(0, 0, got); err != nil || !bytes.Equal(got, []byte("stay put")) {
+		t.Errorf("source contents after failed migration = %q, %v", got, err)
+	}
+}
+
+// TestMigrateCheckpointFailureReoffersTarget fails the checkpoint half: the
+// target — dirty NANA before the attempt, reset during it — must return to
+// the pool clean (NAAV), a later allocation must get it at the plain 36 ms
+// grant latency with no second reset, and the reset already spent must be
+// charged to the failed migration.
+func TestMigrateCheckpointFailureReoffersTarget(t *testing.T) {
+	mgr := New(testMachine(t, 2), Options{})
+	src, _, err := mgr.Alloc("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _, err := mgr.Alloc("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.WriteDPU(0, 0, []byte{0xEE}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Release(other); err != nil {
+		t.Fatal(err)
+	}
+
+	mgr.SetFaultPolicy(&FaultPolicy{FailCheckpoint: func(rank int) bool { return rank == src.Index() }})
+	_, dur, err := mgr.Migrate(src)
+	if err == nil {
+		t.Fatal("migration with a failing checkpoint must error")
+	}
+	if dur <= 0 {
+		t.Error("the target reset that ran must be charged even though the migration failed")
+	}
+	if st := mgr.States()[other.Index()]; st != StateNAAV {
+		t.Errorf("unused target is %v, want NAAV (back in the pool, reset)", st)
+	}
+	if st := mgr.States()[src.Index()]; st != StateALLO {
+		t.Errorf("source is %v after failed migration, want ALLO", st)
+	}
+	resets := mgr.Resets()
+
+	mgr.SetFaultPolicy(nil)
+	got, latency, err := mgr.Alloc("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Index() != other.Index() {
+		t.Errorf("alloc granted rank %d, want the re-offered target %d", got.Index(), other.Index())
+	}
+	if latency != 36*time.Millisecond {
+		t.Errorf("re-offered target cost %v, want a clean 36ms grant (no second reset)", latency)
+	}
+	if mgr.Resets() != resets {
+		t.Error("the re-offered target was reset twice")
 	}
 }
 

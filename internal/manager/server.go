@@ -16,7 +16,7 @@ import (
 
 // Request is one client message.
 type Request struct {
-	// Op is "alloc", "release", "states" or "metrics".
+	// Op is "alloc", "release", "states", "metrics" or "sched".
 	Op string `json:"op"`
 	// Owner identifies the requesting vUPMEM device for "alloc".
 	Owner string `json:"owner,omitempty"`
@@ -32,6 +32,7 @@ type Response struct {
 	LatencyNS int64            `json:"latencyNs,omitempty"`
 	States    []string         `json:"states,omitempty"`
 	Metrics   map[string]int64 `json:"metrics,omitempty"`
+	Sched     []OwnerSched     `json:"sched,omitempty"`
 }
 
 // Server exposes a Manager over a listener. The prototype's thread pool
@@ -146,6 +147,13 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 	}
+	// The scan loop also exits on a scanner error — most notably a request
+	// line exceeding the buffer (bufio.ErrTooLong). Dropping the connection
+	// silently leaves the client blocked on a reply it will never get; tell
+	// it what happened before closing, mirroring the malformed-JSON path.
+	if err := scanner.Err(); err != nil {
+		_ = enc.Encode(Response{Error: fmt.Sprintf("bad request: %v", err)})
+	}
 }
 
 func (s *Server) dispatch(req Request) Response {
@@ -154,10 +162,11 @@ func (s *Server) dispatch(req Request) Response {
 		// While the allocation is parked in the manager's FIFO queue the
 		// request slot is handed back, so waiting allocations cannot starve
 		// the pool (releases must keep flowing to wake them).
-		rank, latency, err := s.mgr.alloc(req.Owner, allocHooks{
+		rank, wait, ck, err := s.mgr.alloc(req.Owner, allocHooks{
 			park:   func() { <-s.slots },
 			unpark: func() { s.slots <- struct{}{} },
 		})
+		latency := wait + ck
 		if err != nil {
 			return Response{Error: err.Error(), LatencyNS: int64(latency)}
 		}
@@ -180,6 +189,8 @@ func (s *Server) dispatch(req Request) Response {
 		return Response{OK: true, States: out}
 	case "metrics":
 		return Response{OK: true, Metrics: s.mgr.Metrics()}
+	case "sched":
+		return Response{OK: true, Sched: s.mgr.Sched()}
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -274,4 +285,16 @@ func (c *Client) Metrics() (map[string]int64, error) {
 		return nil, errors.New(resp.Error)
 	}
 	return resp.Metrics, nil
+}
+
+// Sched fetches per-owner residency and preemption statistics.
+func (c *Client) Sched() ([]OwnerSched, error) {
+	resp, err := c.roundTrip(Request{Op: "sched"})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	return resp.Sched, nil
 }

@@ -38,6 +38,14 @@ var Ops = []string{OpCI, OpReadRank, OpWriteRank}
 // OpAlloc records manager round trips (rank allocation latency, §4.2).
 const OpAlloc = "op:alloc"
 
+// Checkpoint/restore phases of the manager's rank scheduler and of
+// migrations: OpCheckpoint is the snapshot copy off a preempted rank,
+// OpRestore is the snapshot copy onto the rank a parked tenant resumes on.
+const (
+	OpCheckpoint = "op:ckpt"
+	OpRestore    = "op:restore"
+)
+
 // Write-to-rank steps (Fig. 13).
 const (
 	StepPage  = "step:Page"
