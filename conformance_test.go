@@ -7,6 +7,7 @@ import (
 	"repro/internal/conformance"
 	"repro/internal/driver"
 	"repro/internal/prim"
+	"repro/internal/vmm"
 )
 
 // shortMatrixApps is the -short subset: the fastest PrIM applications,
@@ -119,6 +120,95 @@ func TestChaosSchedReplayable(t *testing.T) {
 		t.Logf("seed %d: %d steps logged, preemptions=%d restores=%d quarantines=%d",
 			seed, len(first.Log), first.Manager["manager.preemptions"],
 			first.Manager["manager.restores"], first.Manager["manager.quarantines"])
+	}
+}
+
+// TestChaosPipelineReplayable runs chaos seeds with the pipelined
+// submission window enabled: corrupted chains now land mid-window, and the
+// drain must fail only the victim chain. The outcome — completions, error
+// strings, digests, counters, clock — must still replay exactly.
+func TestChaosPipelineReplayable(t *testing.T) {
+	seeds := []int64{5, 13, 42}
+	if testing.Short() || raceEnabled {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		first, err := conformance.RunChaos(conformance.ChaosConfig{Seed: seed, Pipeline: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		second, err := conformance.RunChaos(conformance.ChaosConfig{Seed: seed, Pipeline: true})
+		if err != nil {
+			t.Fatalf("seed %d replay: %v", seed, err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("seed %d is not replayable under pipelining:\n first: %+v\nsecond: %+v", seed, first, second)
+		}
+		completed := 0
+		for _, ao := range first.Apps {
+			if ao.Completed {
+				completed++
+			}
+		}
+		t.Logf("seed %d: %d/%d apps completed, suppressed=%d coalesced=%d",
+			seed, completed, len(first.Apps),
+			first.Counters["kvm.exits.suppressed"], first.Counters["kvm.irqs.coalesced"])
+	}
+}
+
+// TestPipelineFaultIsolation: a chain fault rejecting exactly one staged
+// chain mid-window must fail only that chain — the failure surfaces at the
+// next synchronization point, every other staged write lands intact, and
+// the device stays usable.
+func TestPipelineFaultIsolation(t *testing.T) {
+	if err := conformance.PipelineFaultProbe(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineSavingsReconcile runs write-heavy PrIM applications under the
+// full variant with and without the pipelined submission window and
+// reconciles the accounting exactly: digests must be bit-identical, the
+// pipelined run must take strictly fewer notify exits and IRQs, and the
+// delta must equal the suppressed/coalesced counters to the unit.
+func TestPipelineSavingsReconcile(t *testing.T) {
+	apps := []string{"SCAN-SSA", "TRNS"}
+	if testing.Short() || raceEnabled {
+		apps = apps[:1]
+	}
+	for _, name := range apps {
+		syncOpts := vmm.Full()
+		pipeOpts := vmm.Full()
+		pipeOpts.Pipeline = true
+		syncDg, syncSnap, err := conformance.RunCell(name, syncOpts)
+		if err != nil {
+			t.Fatalf("%s sync: %v", name, err)
+		}
+		pipeDg, pipeSnap, err := conformance.RunCell(name, pipeOpts)
+		if err != nil {
+			t.Fatalf("%s pipelined: %v", name, err)
+		}
+		if syncDg != pipeDg {
+			t.Fatalf("%s: pipelined digest %v != synchronous digest %v", name, pipeDg, syncDg)
+		}
+		suppressed := pipeSnap["kvm.exits.suppressed"]
+		coalesced := pipeSnap["kvm.irqs.coalesced"]
+		if suppressed == 0 {
+			t.Fatalf("%s: pipelining suppressed no notifications", name)
+		}
+		if pn, sn := pipeSnap["kvm.exits.notify"], syncSnap["kvm.exits.notify"]; pn >= sn {
+			t.Fatalf("%s: pipelined notify exits %d not below synchronous %d", name, pn, sn)
+		} else if sn-pn != suppressed {
+			t.Fatalf("%s: notify delta %d != kvm.exits.suppressed %d", name, sn-pn, suppressed)
+		}
+		if pi, si := pipeSnap["kvm.irqs"], syncSnap["kvm.irqs"]; pi >= si {
+			t.Fatalf("%s: pipelined IRQs %d not below synchronous %d", name, pi, si)
+		} else if si-pi != coalesced {
+			t.Fatalf("%s: IRQ delta %d != kvm.irqs.coalesced %d", name, si-pi, coalesced)
+		}
+		t.Logf("%s: notify %d->%d irqs %d->%d (suppressed=%d coalesced=%d)",
+			name, syncSnap["kvm.exits.notify"], pipeSnap["kvm.exits.notify"],
+			syncSnap["kvm.irqs"], pipeSnap["kvm.irqs"], suppressed, coalesced)
 	}
 }
 

@@ -258,53 +258,124 @@ func (b *Backend) HandleTransfer(chain *virtio.Chain, tl *simtime.Timeline) erro
 		b.writeStatus(status, virtio.StatusError)
 		return fmt.Errorf("backend %s: %w", b.id, ErrNoRank)
 	}
-	if !b.simulated {
-		// Acquire pins the rank for this operation. It revalidates against
-		// the fault policy (a physically-backed rank may have died since
-		// the last request) and, when the manager's time-slicing scheduler
-		// preempted this tenant, blocks to restore the parked snapshot onto
-		// a fresh rank — possibly a different index, transparent to the
-		// guest. With oversubscription a dead rank (or an unrecoverable
-		// resume) fails over to a blank simulated rank: the tenant
-		// survives, though the rank's MRAM contents are lost.
-		rank, acost, aerr := b.mgr.Acquire(b.id, b.rank)
-		if aerr != nil {
-			if !b.oversubscribe {
-				if errors.Is(aerr, manager.ErrRankFaulted) {
-					b.rank = nil
-				}
-				b.writeStatus(status, virtio.StatusError)
-				return fmt.Errorf("backend %s: %w", b.id, aerr)
-			}
-			b.cFailovers.Inc()
-			// Any parked snapshot cannot follow the device onto the
-			// simulator; drop it like the dead rank's contents.
-			b.mgr.Discard(b.id)
-			if serr := b.attachSimulated(); serr != nil {
-				b.writeStatus(status, virtio.StatusError)
-				return fmt.Errorf("backend %s failover: %w", b.id, serr)
-			}
-		} else {
-			b.rank = rank
-			tl.Charge(trace.OpAlloc, acost.Wait)
-			tl.Charge(trace.OpCheckpoint, acost.Checkpoint)
-			tl.Charge(trace.OpRestore, acost.Restore)
-			// The operation's own virtual time — measured from after the
-			// resume charges — feeds the owner's scheduling quantum.
-			opStart := tl.Now()
-			defer func() {
-				if b.rank == rank {
-					b.mgr.EndOp(rank, tl.Now()-opStart)
-				}
-			}()
-		}
+	endOp, err := b.acquire(tl)
+	if err != nil {
+		b.writeStatus(status, virtio.StatusError)
+		return err
 	}
+	defer func() { endOp(tl) }()
 	if err := b.dispatch(req, chain, status, tl); err != nil {
 		b.writeStatus(status, virtio.StatusError)
 		return err
 	}
 	b.writeStatus(status, virtio.StatusOK)
 	return nil
+}
+
+// acquire pins the rank for one admitted operation (or one whole pipelined
+// window). It revalidates against the fault policy (a physically-backed
+// rank may have died since the last request) and, when the manager's
+// time-slicing scheduler preempted this tenant, blocks to restore the
+// parked snapshot onto a fresh rank — possibly a different index,
+// transparent to the guest. With oversubscription a dead rank (or an
+// unrecoverable resume) fails over to a blank simulated rank: the tenant
+// survives, though the rank's MRAM contents are lost. The returned closure
+// ends the scheduling quantum and must run after dispatching.
+func (b *Backend) acquire(tl *simtime.Timeline) (func(tl *simtime.Timeline), error) {
+	if b.simulated {
+		return func(*simtime.Timeline) {}, nil
+	}
+	rank, acost, aerr := b.mgr.Acquire(b.id, b.rank)
+	if aerr != nil {
+		if !b.oversubscribe {
+			if errors.Is(aerr, manager.ErrRankFaulted) {
+				b.rank = nil
+			}
+			return nil, fmt.Errorf("backend %s: %w", b.id, aerr)
+		}
+		b.cFailovers.Inc()
+		// Any parked snapshot cannot follow the device onto the
+		// simulator; drop it like the dead rank's contents.
+		b.mgr.Discard(b.id)
+		if serr := b.attachSimulated(); serr != nil {
+			return nil, fmt.Errorf("backend %s failover: %w", b.id, serr)
+		}
+		return func(*simtime.Timeline) {}, nil
+	}
+	b.rank = rank
+	tl.Charge(trace.OpAlloc, acost.Wait)
+	tl.Charge(trace.OpCheckpoint, acost.Checkpoint)
+	tl.Charge(trace.OpRestore, acost.Restore)
+	// The operation's own virtual time — measured from after the
+	// resume charges — feeds the owner's scheduling quantum.
+	opStart := tl.Now()
+	return func(tl *simtime.Timeline) {
+		if b.rank == rank {
+			b.mgr.EndOp(rank, tl.Now()-opStart)
+		}
+	}, nil
+}
+
+// HandleWindow processes one kicked submission window — every chain the
+// guest staged before notifying once — in a single event-loop admission
+// under a single rank acquisition: the device-side half of notification
+// suppression. Chains are dispatched in submission order; each gets its own
+// status descriptor, so a corrupted or failing chain fails alone and never
+// wedges the drain. The caller signals one coalesced IRQ for the window.
+func (b *Backend) HandleWindow(chains []*virtio.Chain, tl *simtime.Timeline) []error {
+	errs := make([]error, len(chains))
+	if len(chains) == 0 {
+		return errs
+	}
+	done := b.loop.Admit(tl)
+	defer func() { done(tl) }()
+
+	type decoded struct {
+		req    virtio.Request
+		status []byte
+	}
+	decs := make([]*decoded, len(chains))
+	for i, c := range chains {
+		req, status, err := b.decode(c)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		decs[i] = &decoded{req: req, status: status}
+	}
+	var endOp func(*simtime.Timeline)
+	for i, d := range decs {
+		if d == nil {
+			continue
+		}
+		if b.rank == nil {
+			b.writeStatus(d.status, virtio.StatusError)
+			errs[i] = fmt.Errorf("backend %s: %w", b.id, ErrNoRank)
+			continue
+		}
+		if endOp == nil {
+			var err error
+			endOp, err = b.acquire(tl)
+			if err != nil {
+				b.writeStatus(d.status, virtio.StatusError)
+				errs[i] = err
+				endOp = nil
+				continue
+			}
+		}
+		span := b.recordVMMSpan(d.req, chains[i], tl.Now())
+		if err := b.dispatch(d.req, chains[i], d.status, tl); err != nil {
+			b.writeStatus(d.status, virtio.StatusError)
+			errs[i] = err
+		} else {
+			b.writeStatus(d.status, virtio.StatusOK)
+		}
+		span(tl)
+	}
+	if endOp != nil {
+		endOp(tl)
+	}
+	return errs
 }
 
 // ErrNoRank reports a request on a device with no rank attached.

@@ -218,7 +218,9 @@ type Fig13Export struct {
 }
 
 // Fig13Data runs the Fig. 13 experiment (checksum write-to-rank step
-// breakdown, vPIM-rust vs vPIM-C) and returns the structured export.
+// breakdown, vPIM-rust vs vPIM-C, plus the pipelined full variant whose
+// counter snapshot records the suppressed-exit/coalesced-IRQ savings) and
+// returns the structured export.
 func (h *Harness) Fig13Data() (*Fig13Export, error) {
 	size := h.scaledSize(8 << 20)
 	exp := &Fig13Export{
@@ -228,7 +230,7 @@ func (h *Harness) Fig13Data() (*Fig13Export, error) {
 		SizePerDPU:  size,
 		Divisor:     h.cfg.ChecksumDivisor,
 	}
-	for _, variant := range []string{"vPIM-rust", "vPIM-C"} {
+	for _, variant := range []string{"vPIM-rust", "vPIM-C", "vPIM-pipe"} {
 		opts, err := vmm.Variant(variant)
 		if err != nil {
 			return nil, err

@@ -33,6 +33,7 @@ type WallclockCase struct {
 	BytesPerDPU int     `json:"bytes_per_dpu"`
 	Iterations  int     `json:"iterations"`
 	MultiRank   bool    `json:"multi_rank"`
+	Pipeline    bool    `json:"pipeline"`
 	SeqNs       int64   `json:"seq_ns"`
 	ParNs       int64   `json:"par_ns"`
 	Speedup     float64 `json:"speedup"`
@@ -57,6 +58,7 @@ func (h *Harness) WallclockCases() []WallclockCase {
 	return []WallclockCase{
 		{Name: "checksum-rowpool", Ranks: 1, DPUsPerRank: 60, BytesPerDPU: per, Iterations: 3},
 		{Name: "multirank-fanout", Ranks: 4, DPUsPerRank: 16, BytesPerDPU: per, Iterations: 3, MultiRank: true},
+		{Name: "checksum-pipelined", Ranks: 1, DPUsPerRank: 60, BytesPerDPU: per, Iterations: 3, Pipeline: true},
 	}
 }
 
@@ -73,6 +75,7 @@ func wallclockVM(c WallclockCase, workers int) (*vmm.VM, error) {
 	mgr := manager.New(mach, manager.Options{})
 	opts := vmm.Full()
 	opts.HostWorkers = workers
+	opts.Pipeline = c.Pipeline
 	return vmm.NewVM(mach, mgr, vmm.Config{
 		Name: "wallclock", VCPUs: 16, VUPMEMs: c.Ranks, Options: opts,
 	})

@@ -61,8 +61,8 @@ func TestWallclockCasesProduceReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Cases) != 2 {
-		t.Fatalf("report has %d cases, want 2", len(rep.Cases))
+	if len(rep.Cases) != 3 {
+		t.Fatalf("report has %d cases, want 3", len(rep.Cases))
 	}
 	for _, c := range rep.Cases {
 		if c.SeqNs <= 0 || c.ParNs <= 0 {

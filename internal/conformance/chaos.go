@@ -30,6 +30,10 @@ type ChaosConfig struct {
 	// Apps restricts the application list (short names); empty selects the
 	// fast subset below.
 	Apps []string
+	// Pipeline runs the chaos VM with the pipelined submission window, so
+	// the fault plan's corrupted chains land mid-window and must fail alone
+	// without wedging the drain.
+	Pipeline bool
 }
 
 // chaosApps is the default workload: the fastest PrIM applications, so a
@@ -276,8 +280,10 @@ func RunChaos(cfg ChaosConfig) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts := vmm.Full()
+	opts.Pipeline = cfg.Pipeline
 	vm, err := vmm.NewVM(mach, mgr, vmm.Config{
-		Name: "chaos", VCPUs: 16, VUPMEMs: confRanks, Options: vmm.Full(),
+		Name: "chaos", VCPUs: 16, VUPMEMs: confRanks, Options: opts,
 	})
 	if err != nil {
 		return nil, err

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/manager"
 	"repro/internal/native"
+	"repro/internal/obs"
 	"repro/internal/pim"
 	"repro/internal/prim"
 	"repro/internal/sdk"
@@ -147,6 +148,26 @@ func nativeReference(app prim.App) (Digest, error) {
 	}
 	env := native.NewEnv(mach, mgr, 16<<30)
 	return RunApp(env, app, params())
+}
+
+// RunCell runs one PrIM application (by short name) on a fresh conformance
+// machine under opts, returning the readback digest and the aggregated
+// counter snapshot. Differential tests use it to compare two options points
+// (e.g. pipelined vs. synchronous submission) counter by counter.
+func RunCell(appName string, opts vmm.Options) (Digest, map[string]int64, error) {
+	app, err := prim.Lookup(appName)
+	if err != nil {
+		return Digest{}, nil, err
+	}
+	vm, _, err := newVM("cell", opts, confRanks)
+	if err != nil {
+		return Digest{}, nil, err
+	}
+	dg, err := RunApp(vm, app, params())
+	if err != nil {
+		return Digest{}, nil, err
+	}
+	return dg, obs.Aggregate(vm.Metrics()), nil
 }
 
 // newVM boots a conformance VM over a fresh machine.

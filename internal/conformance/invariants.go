@@ -14,37 +14,73 @@ import (
 // CheckCounters verifies the cross-layer counter identities on an
 // aggregated (device tags stripped) snapshot of a clean run:
 //
-//   - every guest->VMM message is a VMEXIT: frontend.messages equals
-//     kvm.exits.notify + kvm.exits.aggregated;
-//   - every notify exit is a submitted chain: kvm.exits.notify equals
-//     transferq.chains + controlq.chains;
-//   - every exit pairs with a completion IRQ on the clean path: kvm.irqs
+//   - every guest->VMM message is a submitted chain or an aggregated boot
+//     round trip: frontend.messages equals transferq.chains +
+//     controlq.chains + kvm.exits.aggregated;
+//   - every notify exit is a queue kick: kvm.exits.notify equals
+//     transferq.kicks + controlq.kicks;
+//   - a chain that did not kick was suppressed: kvm.exits.suppressed
+//     equals chains - kicks, and the device coalesced exactly that many
+//     completion IRQs: kvm.irqs.coalesced equals kvm.exits.suppressed;
+//   - every kick pairs with a completion IRQ on the clean path: kvm.irqs
 //     equals kvm.exits.notify + kvm.exits.aggregated;
+//   - the rings reconcile: every queue's avail index equals its used index
+//     equals its submitted chains once the run quiesces;
+//   - every control round trip is a controlq chain (and nothing else is):
+//     frontend.control.roundtrips equals virtio.controlq.chains;
 //   - every prefetch-cache lookup resolves: frontend.cache.lookups equals
 //     frontend.cache.hits + frontend.cache.misses;
 //   - every batched record is applied: frontend.batch.appends equals
 //     backend.batch.records, and a flush never happens without records;
 //   - a disabled optimization never counts: prefetch/batch counters are
-//     zero when the corresponding option is off, and with the default
-//     batch geometry no record overflows the buffer, so fallbacks stay
-//     zero (the fallback path itself is exercised by BatchClipProbe).
+//     zero when the corresponding option is off, pipelining off means zero
+//     suppression and one kick per chain, and with the default batch
+//     geometry no record overflows the buffer, so fallbacks stay zero (the
+//     fallback path itself is exercised by BatchClipProbe).
 func CheckCounters(snap map[string]int64, opts vmm.Options) error {
 	get := func(name string) int64 { return snap[name] }
 	messages := get("frontend.messages")
 	notify := get("kvm.exits.notify")
 	aggregated := get("kvm.exits.aggregated")
+	suppressed := get("kvm.exits.suppressed")
+	coalesced := get("kvm.irqs.coalesced")
 	irqs := get("kvm.irqs")
 	chains := get("virtio.transferq.chains") + get("virtio.controlq.chains")
+	kicks := get("virtio.transferq.kicks") + get("virtio.controlq.kicks")
 
-	if messages != notify+aggregated {
-		return fmt.Errorf("invariant: frontend.messages=%d != exits.notify+exits.aggregated=%d+%d",
-			messages, notify, aggregated)
+	if messages != chains+aggregated {
+		return fmt.Errorf("invariant: frontend.messages=%d != chains+exits.aggregated=%d+%d",
+			messages, chains, aggregated)
 	}
-	if notify != chains {
-		return fmt.Errorf("invariant: kvm.exits.notify=%d != submitted chains=%d", notify, chains)
+	if notify != kicks {
+		return fmt.Errorf("invariant: kvm.exits.notify=%d != queue kicks=%d", notify, kicks)
+	}
+	if suppressed != chains-kicks {
+		return fmt.Errorf("invariant: kvm.exits.suppressed=%d != chains-kicks=%d-%d",
+			suppressed, chains, kicks)
+	}
+	if coalesced != suppressed {
+		return fmt.Errorf("invariant: kvm.irqs.coalesced=%d != kvm.exits.suppressed=%d",
+			coalesced, suppressed)
 	}
 	if irqs != notify+aggregated {
 		return fmt.Errorf("invariant: kvm.irqs=%d != exits=%d", irqs, notify+aggregated)
+	}
+	for _, q := range []string{"transferq", "controlq"} {
+		qChains := get("virtio." + q + ".chains")
+		avail := get("virtio." + q + ".avail")
+		used := get("virtio." + q + ".used")
+		if avail != qChains || used != qChains {
+			return fmt.Errorf("invariant: %s avail=%d used=%d chains=%d do not reconcile",
+				q, avail, used, qChains)
+		}
+	}
+	if rts, cq := get("frontend.control.roundtrips"), get("virtio.controlq.chains"); rts != cq {
+		return fmt.Errorf("invariant: frontend.control.roundtrips=%d != controlq.chains=%d", rts, cq)
+	}
+	if !opts.Pipeline && suppressed+coalesced != 0 {
+		return fmt.Errorf("invariant: pipelining disabled but suppressed/coalesced %d/%d",
+			suppressed, coalesced)
 	}
 
 	lookups := get("frontend.cache.lookups")

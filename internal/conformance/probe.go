@@ -14,6 +14,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/driver"
 	"repro/internal/obs"
+	"repro/internal/virtio"
 	"repro/internal/vmm"
 )
 
@@ -69,6 +70,100 @@ func BatchClipProbe() error {
 	snap := obs.Aggregate(vm.Metrics())
 	if fb := snap["frontend.batch.fallbacks"]; fb != 1 {
 		return fmt.Errorf("probe: expected 1 batch fallback, counters report %d", fb)
+	}
+	return nil
+}
+
+// PipelineFaultProbe proves per-chain fault isolation inside a pipelined
+// submission window: with several symbol writes staged, a chain fault
+// rejecting exactly one of them mid-window must surface that failure at the
+// next synchronization point, land every other staged write intact, and
+// leave the device fully usable — one bad chain never wedges the drain.
+func PipelineFaultProbe() error {
+	vm, _, err := newVM("pipe-probe", pipelineOpts(vmm.Full()), 1)
+	if err != nil {
+		return err
+	}
+	set, err := vm.AllocSet(confDPUs / 2)
+	if err != nil {
+		return err
+	}
+	defer set.Free()
+	if err := set.Load("prim/red"); err != nil {
+		return err
+	}
+
+	// Stage one 4-byte symbol write per DPU; with the default window depth
+	// none of them kicks, so all four ride the next drain.
+	nDPUs := set.NumDPUs()
+	const victim = 1
+	payload := func(d int) []byte { return []byte{byte(0xA0 + d), 0x5B, byte(d), 0xC4} }
+	for d := 0; d < nDPUs; d++ {
+		if err := set.CopyToSym(d, "red_n", 0, payload(d)); err != nil {
+			return fmt.Errorf("probe: staging sym write %d: %w", d, err)
+		}
+	}
+
+	// Reject exactly the victim's chain when the window drains. Staged
+	// chains are consulted in staging order, ahead of the draining tail.
+	var seen int
+	vm.InjectChainFault(func(queue string, c *virtio.Chain) error {
+		if queue != "transferq" {
+			return nil
+		}
+		seen++
+		if seen == victim+1 {
+			return fmt.Errorf("probe: injected fault on window chain %d", victim)
+		}
+		return nil
+	})
+
+	// A symbol read is a synchronization point: it drains the window and
+	// must report the victim's staged failure.
+	var got [4]byte
+	err = set.CopyFromSym(0, "red_n", 0, got[:])
+	vm.InjectChainFault(nil)
+	if err == nil {
+		return fmt.Errorf("probe: staged chain fault did not surface at the synchronization point")
+	}
+	if seen != nDPUs+1 {
+		return fmt.Errorf("probe: drain consulted %d chains, want %d staged + 1 tail", seen, nDPUs)
+	}
+
+	// Every non-victim write landed; the victim's symbol still holds the
+	// zeroes Load left behind.
+	for d := 0; d < nDPUs; d++ {
+		if err := set.CopyFromSym(d, "red_n", 0, got[:]); err != nil {
+			return fmt.Errorf("probe: readback %d after faulted window: %w", d, err)
+		}
+		if d == victim {
+			if got != [4]byte{} {
+				return fmt.Errorf("probe: faulted chain %d landed anyway: %x", d, got)
+			}
+			continue
+		}
+		if !bytes.Equal(got[:], payload(d)) {
+			return fmt.Errorf("probe: surviving write %d corrupted: got %x want %x", d, got, payload(d))
+		}
+	}
+
+	// The device stays usable: re-write the victim synchronously via a
+	// fresh window and read it back.
+	if err := set.CopyToSym(victim, "red_n", 0, payload(victim)); err != nil {
+		return fmt.Errorf("probe: rewrite after faulted window: %w", err)
+	}
+	if err := set.CopyFromSym(victim, "red_n", 0, got[:]); err != nil {
+		return fmt.Errorf("probe: readback after rewrite: %w", err)
+	}
+	if !bytes.Equal(got[:], payload(victim)) {
+		return fmt.Errorf("probe: rewrite readback mismatch: got %x want %x", got, payload(victim))
+	}
+
+	// The window accounting must show the suppressed notifications: the
+	// faulted drain staged nDPUs chains and kicked once.
+	snap := obs.Aggregate(vm.Metrics())
+	if sup := snap["kvm.exits.suppressed"]; sup < int64(nDPUs) {
+		return fmt.Errorf("probe: kvm.exits.suppressed=%d, want at least %d", sup, nDPUs)
 	}
 	return nil
 }

@@ -22,6 +22,17 @@ type batchBuffer struct {
 	bufs    []hostmem.Buffer
 	used    []int
 	records int64
+	// frozen marks a set whose pages back a staged (pipelined) flush chain:
+	// it must not be written or reset until the window drains.
+	frozen bool
+}
+
+// reset clears every staged record.
+func (b *batchBuffer) reset() {
+	for d := range b.used {
+		b.used[d] = 0
+	}
+	b.records = 0
 }
 
 func newBatchBuffer(mem *hostmem.Memory, nDPUs, pages int) (*batchBuffer, error) {
@@ -51,13 +62,12 @@ func pad8(n int) int { return (n + 7) &^ 7 }
 // silently clip the payload and corrupt MRAM — so it is routed to the
 // unbatched matrix path instead (after a flush, preserving write order).
 func (f *Frontend) batchAppend(entries []sdk.DPUXfer, off int64, length int, tl *simtime.Timeline) error {
-	b := f.batch
 	need := batchRecordHeader + pad8(length)
-	if need > b.capacity() {
+	if need > f.batch.capacity() {
 		if TestHookBatchClip {
 			// Planted fault (see TestHookBatchClip): clip the record to the
 			// buffer and stage it anyway, silently truncating the write.
-			length = (b.capacity() - batchRecordHeader) &^ 7
+			length = (f.batch.capacity() - batchRecordHeader) &^ 7
 			need = batchRecordHeader + pad8(length)
 		} else {
 			f.cBatchFallbacks.Inc()
@@ -68,6 +78,9 @@ func (f *Frontend) batchAppend(entries []sdk.DPUXfer, off int64, length int, tl 
 		}
 	}
 	for _, e := range entries {
+		// Re-read per entry: a pipelined flush swaps in a fresh set while
+		// the frozen one's pages back the staged chain.
+		b := f.batch
 		if e.DPU < 0 || e.DPU >= len(b.bufs) {
 			return fmt.Errorf("driver: DPU %d outside batch of %d", e.DPU, len(b.bufs))
 		}
@@ -75,6 +88,7 @@ func (f *Frontend) batchAppend(entries []sdk.DPUXfer, off int64, length int, tl 
 			if err := f.flushBatch(tl); err != nil {
 				return err
 			}
+			b = f.batch
 		}
 		dst := b.bufs[e.DPU].Data[b.used[e.DPU]:]
 		binary.LittleEndian.PutUint64(dst[0:], uint64(off))
@@ -91,19 +105,21 @@ func (f *Frontend) batchAppend(entries []sdk.DPUXfer, off int64, length int, tl 
 // dropBatch discards every staged record without shipping them: the
 // detach path uses it when a flush against a dead device fails, trading
 // already-unreachable data for a device that can still unlink cleanly.
+// With pipelining every rotating set is cleared, frozen or not.
 func (f *Frontend) dropBatch() {
-	b := f.batch
-	if b == nil {
-		return
+	for _, b := range f.batchSets {
+		b.reset()
+		b.frozen = false
 	}
-	for d := range b.used {
-		b.used[d] = 0
+	if b := f.batch; b != nil {
+		b.reset()
 	}
-	b.records = 0
 }
 
 // flushBatch ships every staged record in one serialized-matrix message.
-// Nil-safe and a no-op when nothing is staged.
+// Nil-safe and a no-op when nothing is staged. Under pipelining the flush
+// is staged on the avail ring instead: the set freezes (its pages back the
+// chain until the drain) and a fresh set takes over for subsequent writes.
 func (f *Frontend) flushBatch(tl *simtime.Timeline) error {
 	b := f.batch
 	if b == nil || b.records == 0 {
@@ -116,13 +132,32 @@ func (f *Frontend) flushBatch(tl *simtime.Timeline) error {
 		}
 		rows = append(rows, matrixRow{dpu: d, buf: b.bufs[d], size: used, mramOff: 0})
 	}
+	if f.pipelined() {
+		b.frozen = true
+		if err := f.stageRows(virtio.OpWriteRank, rows, virtio.BatchSentinel, 0, tl); err != nil {
+			if b.frozen {
+				// The stage failed before any drain: thaw so the records
+				// stay visible to the synchronous caller.
+				b.frozen = false
+			}
+			return err
+		}
+		f.cBatchFlushes.Inc()
+		nb := f.freeBatchSet()
+		if nb == nil {
+			// Every set is frozen behind the window; drain to recycle one.
+			if err := f.drainPipeline(tl); err != nil {
+				return err
+			}
+			nb = f.freeBatchSet()
+		}
+		f.batch = nb
+		return nil
+	}
 	if err := f.sendMatrixRows(virtio.OpWriteRank, rows, virtio.BatchSentinel, 0, tl); err != nil {
 		return err
 	}
-	for d := range b.used {
-		b.used[d] = 0
-	}
-	b.records = 0
+	b.reset()
 	f.cBatchFlushes.Inc()
 	return nil
 }

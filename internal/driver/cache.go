@@ -94,7 +94,15 @@ func (f *Frontend) readViaCache(entries []sdk.DPUXfer, off int64, length int, tl
 			mramOff: off,
 		})
 	}
-	if len(missRows) > 0 {
+	if len(missRows) == 0 {
+		// Fully cache-served, so no request will ride as the window's tail:
+		// drain explicitly — reads are synchronization points. (A hit also
+		// proves no staged chain touches this data: any write since the
+		// last fill would have invalidated the cache.)
+		if err := f.drainPipeline(tl); err != nil {
+			return err
+		}
+	} else {
 		if err := f.sendMatrixRows(virtio.OpReadRank, missRows, uint64(off), uint64(c.size), tl); err != nil {
 			return err
 		}

@@ -26,6 +26,9 @@ const (
 	DefaultPrefetchPages = 16
 	// DefaultBatchPages is the batch buffer size per DPU (64 pages).
 	DefaultBatchPages = 64
+	// DefaultPipelineDepth is the submission window size: how many chains
+	// the frontend stages on the avail ring before it must kick.
+	DefaultPipelineDepth = 8
 	// batchRecordHeader is the packed record header: mramOff u64 + len u64.
 	batchRecordHeader = 16
 )
@@ -43,6 +46,12 @@ type Options struct {
 	BatchPages int
 	// BatchThreshold is the largest per-DPU write the frontend batches.
 	BatchThreshold int
+	// Pipeline enables the pipelined submission window: independent chains
+	// are staged on the avail ring with notifications suppressed and kicked
+	// as one window answered by one coalesced IRQ.
+	Pipeline bool
+	// PipelineDepth overrides the window size (chains per kick).
+	PipelineDepth int
 }
 
 func (o Options) withDefaults() Options {
@@ -54,6 +63,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchThreshold == 0 {
 		o.BatchThreshold = 16 << 10
+	}
+	if o.PipelineDepth == 0 {
+		o.PipelineDepth = DefaultPipelineDepth
 	}
 	return o
 }
@@ -80,15 +92,19 @@ type Frontend struct {
 	cfg      virtio.DeviceConfig
 
 	// Scratch guest kernel buffers, allocated once at attach.
-	hdrBuf     hostmem.Buffer
-	statusBuf  hostmem.Buffer
-	matrixMeta hostmem.Buffer
-	dpuMeta    []hostmem.Buffer
-	pageBufs   []hostmem.Buffer
-	symBuf     hostmem.Buffer
+	hdrBuf    hostmem.Buffer
+	statusBuf hostmem.Buffer
+	scratch   matrixScratch
+	symBuf    hostmem.Buffer
 
 	cache *prefetchCache
 	batch *batchBuffer
+	// Pipelined submission window state: the per-chain slots, the chains
+	// currently published on the avail ring, and — with batching on — the
+	// rotating batch sets whose frozen members back staged flushes.
+	pipe      []*pipeSlot
+	staged    []stagedChain
+	batchSets []*batchBuffer
 	// booted records whether the loaded program's per-DPU CI boot sequence
 	// has run (cleared by LoadProgram).
 	booted bool
@@ -98,6 +114,7 @@ type Frontend struct {
 	// counts; the VMM rebinds them into the per-VM registry via SetObs.
 	rec             *obs.Recorder
 	cMessages       *obs.Counter
+	cControlRTs     *obs.Counter
 	cCacheLookups   *obs.Counter
 	cCacheHits      *obs.Counter
 	cCacheMisses    *obs.Counter
@@ -158,6 +175,7 @@ func (f *Frontend) SetObs(reg *obs.Registry, rec *obs.Recorder) {
 	tag := "#" + f.id
 	f.rec = rec
 	f.cMessages = reg.Counter("frontend.messages" + tag)
+	f.cControlRTs = reg.Counter("frontend.control.roundtrips" + tag)
 	f.cCacheLookups = reg.Counter("frontend.cache.lookups" + tag)
 	f.cCacheHits = reg.Counter("frontend.cache.hits" + tag)
 	f.cCacheMisses = reg.Counter("frontend.cache.misses" + tag)
@@ -195,7 +213,11 @@ func (f *Frontend) FrequencyMHz() int { return int(f.cfg.FrequencyMHz) }
 
 // send pushes one request chain through the virtqueue: encode the header,
 // trap to the VMM, let the backend process, take the completion IRQ, check
-// the status descriptor. Returns the device-written response payload slice.
+// the status descriptor. When a pipelined window is staged, the request is a
+// synchronization point and rides as the window's tail: one kick drains
+// everything in submission order. Returns a copy of the device-written
+// response payload — the status buffer is reused by the next request, so
+// the caller owns the returned slice.
 func (f *Frontend) send(req virtio.Request, extra []virtio.Desc, tl *simtime.Timeline) ([]byte, error) {
 	n, err := req.Encode(f.hdrBuf.Data)
 	if err != nil {
@@ -209,11 +231,18 @@ func (f *Frontend) send(req virtio.Request, extra []virtio.Desc, tl *simtime.Tim
 	f.cMessages.Inc()
 	reqID := f.rec.NextRequestID()
 	start := tl.Now()
-	f.path.GuestToVMM(tl)
-	if err := f.tq.Submit(&virtio.Chain{Descs: descs, ReqID: reqID}, tl); err != nil {
-		return nil, err
+	chain := &virtio.Chain{Descs: descs, ReqID: reqID}
+	if len(f.staged) > 0 {
+		if err := f.drainWith(chain, tl); err != nil {
+			return nil, err
+		}
+	} else {
+		f.path.GuestToVMM(tl)
+		if err := f.tq.Submit(chain, tl); err != nil {
+			return nil, err
+		}
+		f.path.VMMToGuest(tl)
 	}
-	f.path.VMMToGuest(tl)
 	f.rec.Record(obs.Event{
 		Name: req.Op.String(), Cat: "guest", TID: obs.LaneGuest,
 		Req: reqID, Start: start, Dur: tl.Now() - start,
@@ -226,7 +255,9 @@ func (f *Frontend) send(req virtio.Request, extra []virtio.Desc, tl *simtime.Tim
 	if uint32(status) != virtio.StatusOK {
 		return nil, fmt.Errorf("%w: op %v", ErrDeviceError, req.Op)
 	}
-	return f.statusBuf.Data[8:], nil
+	out := make([]byte, len(f.statusBuf.Data)-8)
+	copy(out, f.statusBuf.Data[8:])
+	return out, nil
 }
 
 // Attach links the device to a physical rank through the backend and the
@@ -279,21 +310,11 @@ func (f *Frontend) setupBuffers() error {
 	pagesPerDPU := int((f.cfg.MRAMBytes + hostmem.PageSize - 1) / hostmem.PageSize)
 
 	var err error
-	if f.matrixMeta, err = f.mem.Alloc(8 * virtio.MatrixMetaWords); err != nil {
+	if f.scratch, err = newMatrixScratch(f.mem, nDPUs, pagesPerDPU); err != nil {
 		return err
 	}
 	if f.symBuf, err = f.mem.Alloc(hostmem.PageSize); err != nil {
 		return err
-	}
-	f.dpuMeta = make([]hostmem.Buffer, nDPUs)
-	f.pageBufs = make([]hostmem.Buffer, nDPUs)
-	for d := 0; d < nDPUs; d++ {
-		if f.dpuMeta[d], err = f.mem.Alloc(8 * virtio.DPUMetaWords); err != nil {
-			return err
-		}
-		if f.pageBufs[d], err = f.mem.Alloc(8 * pagesPerDPU); err != nil {
-			return err
-		}
 	}
 	if f.opts.Prefetch {
 		if f.cache, err = newPrefetchCache(f.mem, nDPUs, f.opts.PrefetchPages); err != nil {
@@ -302,6 +323,11 @@ func (f *Frontend) setupBuffers() error {
 	}
 	if f.opts.Batch {
 		if f.batch, err = newBatchBuffer(f.mem, nDPUs, f.opts.BatchPages); err != nil {
+			return err
+		}
+	}
+	if f.opts.Pipeline {
+		if err = f.setupPipeline(); err != nil {
 			return err
 		}
 	}
@@ -321,7 +347,20 @@ func (f *Frontend) MemoryOverheadBytes() int64 {
 		total += int64(f.opts.PrefetchPages) * hostmem.PageSize
 	}
 	if f.opts.Batch {
-		total += int64(f.opts.BatchPages) * hostmem.PageSize
+		sets := int64(1)
+		if f.opts.Pipeline {
+			// One batch set per window slot keeps flushed pages intact
+			// until the drain.
+			sets = int64(f.opts.PipelineDepth)
+		}
+		total += sets * int64(f.opts.BatchPages) * hostmem.PageSize
+	}
+	if f.opts.Pipeline {
+		perSlot := int64(hostmem.PageSize) // staged symbol payload
+		if !f.opts.Batch {
+			perSlot += int64(f.cfg.NumDPUs) * int64(f.opts.BatchThreshold)
+		}
+		total += int64(f.opts.PipelineDepth) * perSlot
 	}
 	return total
 }
@@ -330,6 +369,12 @@ func (f *Frontend) MemoryOverheadBytes() int64 {
 // checks the status word: the manager-synchronization message shape used by
 // attach and detach.
 func (f *Frontend) controlRoundTrip(op virtio.Op, tl *simtime.Timeline) error {
+	// Control operations synchronize with the manager: drain any staged
+	// window first so the device sees every data chain before the sync.
+	if err := f.drainPipeline(tl); err != nil {
+		return err
+	}
+	f.cControlRTs.Inc()
 	f.cMessages.Inc()
 	var hdr [64]byte
 	req := virtio.Request{Op: op}
@@ -374,6 +419,11 @@ func (f *Frontend) Detach(tl *simtime.Timeline) error {
 	// device that cannot flush could otherwise never detach, re-attach, or
 	// hand its rank back.
 	if err := f.flushBatch(tl); err != nil {
+		f.dropBatch()
+	}
+	if err := f.drainPipeline(tl); err != nil {
+		// Same best-effort contract: the window was consumed either way,
+		// and any frozen batch sets were recycled by the drain.
 		f.dropBatch()
 	}
 	f.cache.invalidate()

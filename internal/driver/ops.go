@@ -28,6 +28,13 @@ func (f *Frontend) WriteRank(entries []sdk.DPUXfer, off int64, length int, tl *s
 			err = f.batchAppend(entries, off, length, tl)
 			return
 		}
+		// Without batching, the pipelined window still absorbs small writes:
+		// the payload is copied into a slot and the chain staged, kick
+		// deferred to the next synchronization point.
+		if f.pipelined() && f.batch == nil && length <= f.opts.BatchThreshold {
+			err = f.stageWrite(entries, off, length, tl)
+			return
+		}
 		if err = f.flushBatch(tl); err != nil {
 			return
 		}
@@ -73,14 +80,19 @@ func (f *Frontend) SymWrite(dpu int, symbol string, off int, src []byte, tl *sim
 			err = fmt.Errorf("driver: symbol payload %d exceeds %d", len(src), len(f.symBuf.Data))
 			return
 		}
-		copy(f.symBuf.Data, src)
-		_, err = f.send(virtio.Request{
+		req := virtio.Request{
 			Op:     virtio.OpSymWrite,
 			DPU:    uint32(dpu),
 			Offset: uint64(off),
 			Length: uint64(len(src)),
 			Symbol: symbol,
-		}, []virtio.Desc{{GPA: f.symBuf.GPA, Len: uint32(len(src))}}, tl)
+		}
+		if f.pipelined() {
+			err = f.stageSym(req, src, tl)
+			return
+		}
+		copy(f.symBuf.Data, src)
+		_, err = f.send(req, []virtio.Desc{{GPA: f.symBuf.GPA, Len: uint32(len(src))}}, tl)
 	})
 	return err
 }
@@ -100,14 +112,19 @@ func (f *Frontend) SymBroadcast(symbol string, off int, src []byte, tl *simtime.
 			err = fmt.Errorf("driver: symbol payload %d exceeds %d", len(src), len(f.symBuf.Data))
 			return
 		}
-		copy(f.symBuf.Data, src)
-		_, err = f.send(virtio.Request{
+		req := virtio.Request{
 			Op:     virtio.OpSymWrite,
 			DPU:    virtio.BroadcastDPU,
 			Offset: uint64(off),
 			Length: uint64(len(src)),
 			Symbol: symbol,
-		}, []virtio.Desc{{GPA: f.symBuf.GPA, Len: uint32(len(src))}}, tl)
+		}
+		if f.pipelined() {
+			err = f.stageSym(req, src, tl)
+			return
+		}
+		copy(f.symBuf.Data, src)
+		_, err = f.send(req, []virtio.Desc{{GPA: f.symBuf.GPA, Len: uint32(len(src))}}, tl)
 	})
 	return err
 }
@@ -185,7 +202,6 @@ func (f *Frontend) Launch(dpus []int, tl *simtime.Timeline) error {
 	boot := int64(pim.ChipsPerRank)
 	if !f.booted {
 		boot = int64(pim.ChipsPerRank) * int64(f.model.LaunchCIOpsPerChip)
-		f.booted = true
 	}
 	f.path.AddRoundTrips(boot)
 	f.cMessages.Add(boot)
@@ -199,6 +215,10 @@ func (f *Frontend) Launch(dpus []int, tl *simtime.Timeline) error {
 	if err != nil {
 		return err
 	}
+	// Only a launch the device accepted leaves the chips booted: a failed
+	// send (injected fault, dead rank, failover re-attach) must pay the
+	// full per-chip CI boot sequence again on retry.
+	f.booted = true
 	interval := f.model.LaunchPollInterval
 	for {
 		start := tl.Now()
@@ -242,7 +262,6 @@ func (f *Frontend) LaunchStart(dpus []int, tl *simtime.Timeline) (simtime.Durati
 	boot := int64(pim.ChipsPerRank)
 	if !f.booted {
 		boot = int64(pim.ChipsPerRank) * int64(f.model.LaunchCIOpsPerChip)
-		f.booted = true
 	}
 	f.path.AddRoundTrips(boot)
 	f.cMessages.Add(boot)
@@ -254,21 +273,37 @@ func (f *Frontend) LaunchStart(dpus []int, tl *simtime.Timeline) (simtime.Durati
 	tl.Span(trace.OpCI, func(tl *simtime.Timeline) {
 		var payload []byte
 		payload, err = f.send(virtio.Request{Op: virtio.OpLaunch, DPUMask: mask}, nil, tl)
-		if err == nil && len(payload) >= 8 {
-			v, gerr := virtio.GetU64(payload, 0)
-			if gerr == nil {
-				completion = simtime.Duration(v)
-			}
+		if err != nil {
+			return
 		}
+		// The completion instant is the whole point of the asynchronous
+		// launch: a short or garbled response must be an explicit device
+		// error, not a zero that makes the guest sleep nothing and treat a
+		// still-running rank as done. A real completion can never be zero —
+		// the virtual clock is past device boot by the time a launch is
+		// possible.
+		v, gerr := virtio.GetU64(payload, 0)
+		if gerr != nil || v == 0 {
+			err = fmt.Errorf("%w: launch response missing completion time", ErrDeviceError)
+			return
+		}
+		completion = simtime.Duration(v)
 	})
-	return completion, err
+	if err != nil {
+		return 0, err
+	}
+	f.booted = true
+	return completion, nil
 }
 
 // ciCmdStatus is the CI command code for a status poll (Request.Offset).
 const ciCmdStatus = 1
 
 // Release implements sdk.Device: detach the physical rank so the manager can
-// reallocate it (after a reset) to another VM.
+// reallocate it (after a reset) to another VM. Like Detach it synchronizes
+// with the manager over the controlq — the spec reserves that queue for
+// manager synchronization, and routing it over the transferq would skew the
+// per-queue chain counters the conformance identities link across layers.
 func (f *Frontend) Release(tl *simtime.Timeline) error {
 	if !f.attached {
 		return nil
@@ -276,8 +311,11 @@ func (f *Frontend) Release(tl *simtime.Timeline) error {
 	if err := f.flushBatch(tl); err != nil {
 		return err
 	}
+	if err := f.drainPipeline(tl); err != nil {
+		return err
+	}
 	f.cache.invalidate()
-	if _, err := f.send(virtio.Request{Op: virtio.OpRelease}, nil, tl); err != nil {
+	if err := f.controlRoundTrip(virtio.OpRelease, tl); err != nil {
 		return err
 	}
 	f.attached = false

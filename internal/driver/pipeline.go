@@ -1,0 +1,286 @@
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/hostmem"
+	"repro/internal/obs"
+	"repro/internal/sdk"
+	"repro/internal/simtime"
+	"repro/internal/virtio"
+)
+
+// This file implements the pipelined submission window: the frontend stages
+// up to PipelineDepth independent request chains on the transferq's avail
+// ring and notifies the device once — event-idx-style notification
+// suppression — and the device answers the whole window with one coalesced
+// completion IRQ. The window replaces N guest<->VMM round trips (the
+// dominant virtualization cost, Fig. 13) with one, without moving a single
+// byte differently: only chains whose results the guest does not need yet
+// (small writes, symbol writes, batch flushes) are staged, and every
+// synchronizing request — a read, a launch, a CI command, a release — rides
+// as the tail of the window it drains, so device-visible ordering is
+// exactly the submission order.
+
+// matrixScratch is one set of serialization buffers for a transfer matrix:
+// the row-count word, the per-DPU metadata and the per-DPU page vectors
+// (Fig. 7). The synchronous path owns one; each pipeline slot owns its own
+// so a staged matrix survives until the window drains.
+type matrixScratch struct {
+	meta     hostmem.Buffer
+	dpuMeta  []hostmem.Buffer
+	pageBufs []hostmem.Buffer
+}
+
+func newMatrixScratch(mem *hostmem.Memory, nDPUs, pagesPerDPU int) (matrixScratch, error) {
+	var sc matrixScratch
+	var err error
+	if sc.meta, err = mem.Alloc(8 * virtio.MatrixMetaWords); err != nil {
+		return sc, err
+	}
+	sc.dpuMeta = make([]hostmem.Buffer, nDPUs)
+	sc.pageBufs = make([]hostmem.Buffer, nDPUs)
+	for d := 0; d < nDPUs; d++ {
+		if sc.dpuMeta[d], err = mem.Alloc(8 * virtio.DPUMetaWords); err != nil {
+			return sc, err
+		}
+		if sc.pageBufs[d], err = mem.Alloc(8 * pagesPerDPU); err != nil {
+			return sc, err
+		}
+	}
+	return sc, nil
+}
+
+// pipeSlot is the guest memory backing one staged chain: its own header and
+// status descriptors (per-chain status is what lets one failing chain fail
+// alone), a symbol payload page, a matrix scratch set, and — when batching
+// is off — per-DPU staging copies for small writes.
+type pipeSlot struct {
+	hdr     hostmem.Buffer
+	status  hostmem.Buffer
+	sym     hostmem.Buffer
+	scratch matrixScratch
+	data    []hostmem.Buffer
+}
+
+// stagedChain tracks one chain published on the avail ring but not yet
+// kicked, so the drain can check its status word and thread its trace event.
+type stagedChain struct {
+	op    virtio.Op
+	reqID int64
+	slot  *pipeSlot
+	start simtime.Duration
+}
+
+// pipelined reports whether the submission window is active (option on and
+// the slots allocated at attach).
+func (f *Frontend) pipelined() bool { return len(f.pipe) > 0 }
+
+// nextSlot returns the slot backing the next staged chain. Safe because
+// stageChain auto-drains at depth, so len(staged) < len(pipe) always holds
+// here.
+func (f *Frontend) nextSlot() *pipeSlot { return f.pipe[len(f.staged)] }
+
+// setupPipeline allocates the window slots (and the extra batch sets that
+// let flushed data survive until the drain) once the rank geometry is known.
+func (f *Frontend) setupPipeline() error {
+	nDPUs := int(f.cfg.NumDPUs)
+	// A slot's page vectors only ever describe staged chains: a batch flush
+	// (BatchPages pages per DPU) or a small staged write (at most
+	// BatchThreshold bytes), plus slack for unaligned buffers.
+	slotPages := f.opts.BatchPages + 2
+	if p := f.opts.BatchThreshold/hostmem.PageSize + 2; p > slotPages {
+		slotPages = p
+	}
+	f.pipe = make([]*pipeSlot, f.opts.PipelineDepth)
+	for i := range f.pipe {
+		s := &pipeSlot{}
+		var err error
+		if s.hdr, err = f.mem.Alloc(256); err != nil {
+			return err
+		}
+		if s.status, err = f.mem.Alloc(64); err != nil {
+			return err
+		}
+		if s.sym, err = f.mem.Alloc(hostmem.PageSize); err != nil {
+			return err
+		}
+		if s.scratch, err = newMatrixScratch(f.mem, nDPUs, slotPages); err != nil {
+			return err
+		}
+		if f.batch == nil {
+			s.data = make([]hostmem.Buffer, nDPUs)
+			for d := range s.data {
+				if s.data[d], err = f.mem.Alloc(f.opts.BatchThreshold); err != nil {
+					return err
+				}
+			}
+		}
+		f.pipe[i] = s
+	}
+	if f.batch != nil {
+		f.batchSets = append(f.batchSets, f.batch)
+		for i := 1; i < f.opts.PipelineDepth; i++ {
+			nb, err := newBatchBuffer(f.mem, nDPUs, f.opts.BatchPages)
+			if err != nil {
+				return err
+			}
+			f.batchSets = append(f.batchSets, nb)
+		}
+	}
+	return nil
+}
+
+// stageChain publishes one chain on the avail ring without kicking. The
+// status word is poisoned first so a chain the backend never reaches reads
+// as a device failure, not stale success. Hits the depth limit by draining.
+func (f *Frontend) stageChain(slot *pipeSlot, req virtio.Request, extra []virtio.Desc, tl *simtime.Timeline) error {
+	n, err := req.Encode(slot.hdr.Data)
+	if err != nil {
+		return err
+	}
+	if err := virtio.PutU64s(slot.status.Data[:8], []uint64{uint64(virtio.StatusError)}); err != nil {
+		return err
+	}
+	descs := make([]virtio.Desc, 0, len(extra)+2)
+	descs = append(descs, virtio.Desc{GPA: slot.hdr.GPA, Len: uint32(n)})
+	descs = append(descs, extra...)
+	descs = append(descs, virtio.Desc{GPA: slot.status.GPA, Len: uint32(len(slot.status.Data)), Writable: true})
+
+	f.cMessages.Inc()
+	reqID := f.rec.NextRequestID()
+	if err := f.tq.Stage(&virtio.Chain{Descs: descs, ReqID: reqID}); err != nil {
+		return err
+	}
+	f.staged = append(f.staged, stagedChain{op: req.Op, reqID: reqID, slot: slot, start: tl.Now()})
+	if len(f.staged) >= len(f.pipe) {
+		return f.drainPipeline(tl)
+	}
+	return nil
+}
+
+// stageRows serializes arbitrary matrix rows into the next slot's scratch
+// and stages the chain.
+func (f *Frontend) stageRows(op virtio.Op, rows []matrixRow, reqOff, reqLen uint64, tl *simtime.Timeline) error {
+	slot := f.nextSlot()
+	descs, err := f.buildMatrixDescs(&slot.scratch, rows, tl)
+	if err != nil {
+		return err
+	}
+	if len(descs)+2 > virtio.TransferQueueSize {
+		return fmt.Errorf("driver: chain of %d buffers exceeds transferq", len(descs)+2)
+	}
+	return f.stageChain(slot, virtio.Request{Op: op, Offset: reqOff, Length: reqLen}, descs, tl)
+}
+
+// stageSym stages a symbol write: the payload is copied into the slot's
+// symbol page (the same guest-side copy the synchronous path makes into
+// symBuf) so the caller's buffer is free to change before the drain.
+func (f *Frontend) stageSym(req virtio.Request, src []byte, tl *simtime.Timeline) error {
+	slot := f.nextSlot()
+	copy(slot.sym.Data, src)
+	return f.stageChain(slot, req, []virtio.Desc{{GPA: slot.sym.GPA, Len: uint32(len(src))}}, tl)
+}
+
+// stageWrite stages a small write-to-rank when batching is off: each DPU's
+// payload is copied into the slot's staging buffer (charged as a guest
+// memcpy) so the userspace buffer may be reused immediately, preserving the
+// synchronous path's semantics.
+func (f *Frontend) stageWrite(entries []sdk.DPUXfer, off int64, length int, tl *simtime.Timeline) error {
+	slot := f.nextSlot()
+	rows := make([]matrixRow, len(entries))
+	for i, e := range entries {
+		if e.DPU < 0 || e.DPU >= len(slot.data) {
+			return fmt.Errorf("driver: DPU %d outside pipeline staging of %d", e.DPU, len(slot.data))
+		}
+		copy(slot.data[e.DPU].Data[:length], e.Buf.Data[:length])
+		tl.Advance(f.model.CopyDuration(cost.EngineC, int64(length)))
+		rows[i] = matrixRow{dpu: e.DPU, buf: slot.data[e.DPU], size: length, mramOff: off}
+	}
+	return f.stageRows(virtio.OpWriteRank, rows, uint64(off), uint64(length), tl)
+}
+
+// drainPipeline kicks and drains the staged window with no tail request.
+func (f *Frontend) drainPipeline(tl *simtime.Timeline) error {
+	if len(f.staged) == 0 {
+		return nil
+	}
+	return f.drainWith(nil, tl)
+}
+
+// drainWith kicks the device once and drains the whole window: every staged
+// chain plus the optional tail. One GuestToVMM covers the kick; the N-1
+// notifications the window avoided are accounted as suppressed exits, and
+// the N-1 completion interrupts the device merged away as coalesced IRQs —
+// observable, but never charged time. Returns the first staged chain's
+// failure, else the tail's.
+func (f *Frontend) drainWith(tail *virtio.Chain, tl *simtime.Timeline) error {
+	staged := f.staged
+	f.staged = nil
+	total := int64(len(staged))
+	if tail != nil {
+		total++
+	}
+	if total == 0 {
+		return nil
+	}
+	f.path.GuestToVMM(tl)
+	f.path.SuppressNotify(total - 1)
+	errs, err := f.tq.SubmitAll(tail, tl)
+	// The drain consumed every frozen batch set's pages (or abandoned them
+	// on a structural failure); either way they are reusable now.
+	f.resetFrozenBatches()
+	if err != nil {
+		return err
+	}
+	f.path.VMMToGuest(tl)
+	f.path.CoalesceIRQs(total - 1)
+
+	var firstErr error
+	for i, sc := range staged {
+		cerr := errs[i]
+		if cerr == nil {
+			if status, gerr := virtio.GetU64(sc.slot.status.Data, 0); gerr != nil {
+				cerr = gerr
+			} else if uint32(status) != virtio.StatusOK {
+				cerr = fmt.Errorf("%w: op %v", ErrDeviceError, sc.op)
+			}
+		}
+		f.rec.Record(obs.Event{
+			Name: sc.op.String(), Cat: "guest", TID: obs.LaneGuest,
+			Req: sc.reqID, Start: sc.start, Dur: tl.Now() - sc.start,
+		})
+		if cerr != nil && firstErr == nil {
+			firstErr = fmt.Errorf("driver: pipelined %v: %w", sc.op, cerr)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if tail != nil {
+		return errs[len(errs)-1]
+	}
+	return nil
+}
+
+// resetFrozenBatches returns every frozen batch set to the free pool.
+func (f *Frontend) resetFrozenBatches() {
+	for _, b := range f.batchSets {
+		if b.frozen {
+			b.reset()
+			b.frozen = false
+		}
+	}
+}
+
+// freeBatchSet returns an unfrozen batch set, or nil if every set is backing
+// a staged flush.
+func (f *Frontend) freeBatchSet() *batchBuffer {
+	for _, b := range f.batchSets {
+		if !b.frozen {
+			return b
+		}
+	}
+	return nil
+}

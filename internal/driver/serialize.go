@@ -28,11 +28,13 @@ func (f *Frontend) sendMatrix(op virtio.Op, entries []sdk.DPUXfer, off int64, le
 	return f.sendMatrixRows(op, rows, uint64(off), uint64(length), tl)
 }
 
-// sendMatrixRows serializes arbitrary rows. The request offset carries
-// virtio.BatchSentinel for packed batch flushes.
-func (f *Frontend) sendMatrixRows(op virtio.Op, rows []matrixRow, reqOff, reqLen uint64, tl *simtime.Timeline) error {
-	if len(rows) > len(f.dpuMeta) {
-		return fmt.Errorf("driver: %d matrix rows exceed %d DPUs", len(rows), len(f.dpuMeta))
+// buildMatrixDescs serializes arbitrary rows into the given scratch set and
+// returns the descriptor chain body. The synchronous path serializes into
+// the frontend's own scratch; the pipelined path into a window slot's, so a
+// staged matrix survives until the drain.
+func (f *Frontend) buildMatrixDescs(sc *matrixScratch, rows []matrixRow, tl *simtime.Timeline) ([]virtio.Desc, error) {
+	if len(rows) > len(sc.dpuMeta) {
+		return nil, fmt.Errorf("driver: %d matrix rows exceed %d DPUs", len(rows), len(sc.dpuMeta))
 	}
 
 	// Page management: the driver re-anchors the userspace pages backing
@@ -50,10 +52,10 @@ func (f *Frontend) sendMatrixRows(op virtio.Op, rows []matrixRow, reqOff, reqLen
 	var err error
 	descs := make([]virtio.Desc, 0, 2*len(rows)+1)
 	tl.Span(trace.StepSer, func(tl *simtime.Timeline) {
-		if err = virtio.PutU64s(f.matrixMeta.Data, []uint64{uint64(len(rows))}); err != nil {
+		if err = virtio.PutU64s(sc.meta.Data, []uint64{uint64(len(rows))}); err != nil {
 			return
 		}
-		descs = append(descs, virtio.Desc{GPA: f.matrixMeta.GPA, Len: uint32(len(f.matrixMeta.Data))})
+		descs = append(descs, virtio.Desc{GPA: sc.meta.GPA, Len: uint32(len(sc.meta.Data))})
 		for i, row := range rows {
 			b := row.buf
 			b.Data = b.Data[:row.size]
@@ -65,26 +67,36 @@ func (f *Frontend) sendMatrixRows(op virtio.Op, rows []matrixRow, reqOff, reqLen
 				uint64(len(pages)),
 				b.GPA % hostmem.PageSize,
 			}
-			if err = virtio.PutU64s(f.dpuMeta[i].Data, meta); err != nil {
+			if err = virtio.PutU64s(sc.dpuMeta[i].Data, meta); err != nil {
 				return
 			}
-			if 8*len(pages) > len(f.pageBufs[i].Data) {
+			if 8*len(pages) > len(sc.pageBufs[i].Data) {
 				err = fmt.Errorf("driver: row %d needs %d pages, page buffer holds %d",
-					i, len(pages), len(f.pageBufs[i].Data)/8)
+					i, len(pages), len(sc.pageBufs[i].Data)/8)
 				return
 			}
-			if err = virtio.PutU64s(f.pageBufs[i].Data, pages); err != nil {
+			if err = virtio.PutU64s(sc.pageBufs[i].Data, pages); err != nil {
 				return
 			}
 			descs = append(descs,
-				virtio.Desc{GPA: f.dpuMeta[i].GPA, Len: uint32(len(f.dpuMeta[i].Data))},
-				virtio.Desc{GPA: f.pageBufs[i].GPA, Len: uint32(8 * len(pages)), Writable: false},
+				virtio.Desc{GPA: sc.dpuMeta[i].GPA, Len: uint32(len(sc.dpuMeta[i].Data))},
+				virtio.Desc{GPA: sc.pageBufs[i].GPA, Len: uint32(8 * len(pages)), Writable: false},
 			)
 		}
 		tl.Advance(mulDur(f.model.SerializeDPU, len(rows)))
 		tl.Advance(mulDur(f.model.SerializePage, totalPages))
 		tl.Advance(f.model.VirtqueuePush)
 	})
+	if err != nil {
+		return nil, err
+	}
+	return descs, nil
+}
+
+// sendMatrixRows serializes arbitrary rows and pushes them synchronously.
+// The request offset carries virtio.BatchSentinel for packed batch flushes.
+func (f *Frontend) sendMatrixRows(op virtio.Op, rows []matrixRow, reqOff, reqLen uint64, tl *simtime.Timeline) error {
+	descs, err := f.buildMatrixDescs(&f.scratch, rows, tl)
 	if err != nil {
 		return err
 	}

@@ -20,15 +20,20 @@ import (
 
 // Path is the guest<->VMM transition machinery of one VM.
 type Path struct {
-	model cost.Model
-	exits atomic.Int64
-	irqs  atomic.Int64
+	model      cost.Model
+	exits      atomic.Int64
+	irqs       atomic.Int64
+	suppressed atomic.Int64
+	coalesced  atomic.Int64
 
 	// Per-reason exit counters (nil until SetObs): virtqueue notifications
-	// vs. aggregated CI-boot round trips.
+	// vs. aggregated CI-boot round trips, plus the transitions the pipelined
+	// submission window avoided entirely.
 	cNotify     *obs.Counter
 	cAggregated *obs.Counter
 	cIRQs       *obs.Counter
+	cSuppressed *obs.Counter
+	cCoalesced  *obs.Counter
 }
 
 // NewPath creates the transition layer with the given cost model.
@@ -38,12 +43,16 @@ func NewPath(model cost.Model) *Path {
 
 // SetObs registers the path's per-reason exit counters in reg:
 // "kvm.exits.notify" (one per virtqueue notification trap),
-// "kvm.exits.aggregated" (CI-boot round trips accounted in bulk) and
-// "kvm.irqs" (completion interrupts injected into the guest).
+// "kvm.exits.aggregated" (CI-boot round trips accounted in bulk),
+// "kvm.irqs" (completion interrupts injected into the guest),
+// "kvm.exits.suppressed" (VMEXITs the event-idx window avoided) and
+// "kvm.irqs.coalesced" (completion IRQs merged into one injection).
 func (p *Path) SetObs(reg *obs.Registry) {
 	p.cNotify = reg.Counter("kvm.exits.notify")
 	p.cAggregated = reg.Counter("kvm.exits.aggregated")
 	p.cIRQs = reg.Counter("kvm.irqs")
+	p.cSuppressed = reg.Counter("kvm.exits.suppressed")
+	p.cCoalesced = reg.Counter("kvm.irqs.coalesced")
 }
 
 // GuestToVMM charges one virtqueue notification: VMEXIT plus the VMM's event
@@ -72,8 +81,37 @@ func (p *Path) AddRoundTrips(n int64) {
 	p.cIRQs.Add(n)
 }
 
+// SuppressNotify accounts n virtqueue notifications that never happened:
+// chains published on the avail ring while the device was already kicked
+// (event-idx suppression). No time is charged — that is the entire point.
+func (p *Path) SuppressNotify(n int64) {
+	if n <= 0 {
+		return
+	}
+	p.suppressed.Add(n)
+	p.cSuppressed.Add(n)
+}
+
+// CoalesceIRQs accounts n completion interrupts merged into a single
+// injection: the device finished n extra chains before signalling once.
+// No time is charged.
+func (p *Path) CoalesceIRQs(n int64) {
+	if n <= 0 {
+		return
+	}
+	p.coalesced.Add(n)
+	p.cCoalesced.Add(n)
+}
+
 // Exits reports the number of VMEXITs so far.
 func (p *Path) Exits() int64 { return p.exits.Load() }
 
 // IRQs reports the number of injected interrupts so far.
 func (p *Path) IRQs() int64 { return p.irqs.Load() }
+
+// Suppressed reports the number of notifications event-idx suppression
+// avoided so far.
+func (p *Path) Suppressed() int64 { return p.suppressed.Load() }
+
+// Coalesced reports the number of completion IRQs merged away so far.
+func (p *Path) Coalesced() int64 { return p.coalesced.Load() }

@@ -128,6 +128,14 @@ type Chain struct {
 // given timeline by the virtual cost of the work.
 type Handler func(chain *Chain, tl *simtime.Timeline) error
 
+// WindowHandler processes one kicked submission window — every chain the
+// guest published on the avail ring before notifying once — in a single
+// device-side pass. It returns one error slot per chain: a failing chain
+// fails alone, the rest of the window completes normally. When no window
+// handler is installed, SubmitAll falls back to running the per-chain
+// Handler over the window.
+type WindowHandler func(chains []*Chain, tl *simtime.Timeline) []error
+
 // ChainFault is an injected descriptor-chain fault for chaos testing: it
 // runs on every submitted chain before the device handler and may mutate
 // the chain in place (truncate or corrupt descriptors) or reject it
@@ -139,16 +147,31 @@ type ChainFault func(queue string, chain *Chain) error
 
 // Queue is one virtqueue of a virtio-pim device.
 type Queue struct {
-	name      string
-	size      int
-	handler   Handler
-	fault     ChainFault
-	submitted atomic.Int64
+	name       string
+	size       int
+	handler    Handler
+	winHandler WindowHandler
+	fault      ChainFault
+	submitted  atomic.Int64
+
+	// Ring state (event-idx style): pending holds the chains published on
+	// the avail ring but not yet kicked; avail/used are the ring indices and
+	// kicks counts guest notifications. A non-pipelined driver kicks once
+	// per chain, so kicks == avail == used; a pipelined driver publishes a
+	// window of chains and kicks once, and the gap between chains and kicks
+	// is exactly the suppressed-notification count.
+	pending []*Chain
+	avail   atomic.Int64
+	used    atomic.Int64
+	kicks   atomic.Int64
 
 	// Observability counters (nil until SetObs; nil counters swallow
 	// updates, so an unobserved queue pays only a nil check).
 	cChains *obs.Counter
 	cDescs  *obs.Counter
+	cKicks  *obs.Counter
+	cAvail  *obs.Counter
+	cUsed   *obs.Counter
 }
 
 // NewQueue creates a queue with the given descriptor capacity.
@@ -166,14 +189,22 @@ func (q *Queue) Size() int { return q.size }
 // this during device realization.
 func (q *Queue) SetHandler(h Handler) { q.handler = h }
 
+// SetWindowHandler installs the device-side window drain used by SubmitAll
+// (nil falls back to the per-chain Handler).
+func (q *Queue) SetWindowHandler(h WindowHandler) { q.winHandler = h }
+
 // SetFault installs (or, with nil, removes) a chain-fault injector.
 func (q *Queue) SetFault(f ChainFault) { q.fault = f }
 
-// SetObs registers the queue's counters ("virtio.<queue>.chains" and
-// "virtio.<queue>.descs", tagged with the device ID) in reg.
+// SetObs registers the queue's counters ("virtio.<queue>.chains",
+// "virtio.<queue>.descs", plus the ring counters "kicks", "avail" and
+// "used", tagged with the device ID) in reg.
 func (q *Queue) SetObs(reg *obs.Registry, device string) {
 	q.cChains = reg.Counter("virtio." + q.name + ".chains#" + device)
 	q.cDescs = reg.Counter("virtio." + q.name + ".descs#" + device)
+	q.cKicks = reg.Counter("virtio." + q.name + ".kicks#" + device)
+	q.cAvail = reg.Counter("virtio." + q.name + ".avail#" + device)
+	q.cUsed = reg.Counter("virtio." + q.name + ".used#" + device)
 }
 
 // Submitted reports how many chains have been pushed so far: the number of
@@ -181,25 +212,141 @@ func (q *Queue) SetObs(reg *obs.Registry, device string) {
 // overhead source.
 func (q *Queue) Submitted() int64 { return q.submitted.Load() }
 
+// Kicks reports how many guest notifications the queue has received. With
+// notification suppression, Submitted() - Kicks() is the number of VMEXITs
+// the pipelined window saved.
+func (q *Queue) Kicks() int64 { return q.kicks.Load() }
+
+// Pending reports how many chains sit on the avail ring awaiting a kick.
+func (q *Queue) Pending() int { return len(q.pending) }
+
+// Stage publishes one chain on the avail ring without notifying the device:
+// the event-idx half of notification suppression. The chain is processed at
+// the next SubmitAll (or by the next Submit, which drains the window with
+// itself as the tail).
+func (q *Queue) Stage(chain *Chain) error {
+	if len(chain.Descs) > q.size {
+		return fmt.Errorf("%w: %d > %d", ErrChainTooLong, len(chain.Descs), q.size)
+	}
+	if q.handler == nil && q.winHandler == nil {
+		return ErrNoHandler
+	}
+	q.avail.Add(1)
+	q.cAvail.Inc()
+	q.pending = append(q.pending, chain)
+	return nil
+}
+
 // Submit validates and delivers one chain to the device handler. The caller
 // (the frontend, through the kvm transition layer) has already charged the
-// trap cost; the handler charges device-side work.
+// trap cost; the handler charges device-side work. If chains are pending on
+// the avail ring, the chain joins the window as its tail (one kick drains
+// everything) and the first failure in the window is returned.
 func (q *Queue) Submit(chain *Chain, tl *simtime.Timeline) error {
+	if len(q.pending) > 0 {
+		errs, err := q.SubmitAll(chain, tl)
+		if err != nil {
+			return err
+		}
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+		return nil
+	}
 	if len(chain.Descs) > q.size {
 		return fmt.Errorf("%w: %d > %d", ErrChainTooLong, len(chain.Descs), q.size)
 	}
 	if q.handler == nil {
 		return ErrNoHandler
 	}
+	q.avail.Add(1)
+	q.cAvail.Inc()
+	q.kicks.Add(1)
+	q.cKicks.Inc()
 	q.submitted.Add(1)
 	q.cChains.Inc()
 	q.cDescs.Add(int64(len(chain.Descs)))
+	err := error(nil)
 	if q.fault != nil {
-		if err := q.fault(q.name, chain); err != nil {
-			return fmt.Errorf("%w: %v", ErrDeviceFailed, err)
+		if ferr := q.fault(q.name, chain); ferr != nil {
+			err = fmt.Errorf("%w: %v", ErrDeviceFailed, ferr)
 		}
 	}
-	return q.handler(chain, tl)
+	if err == nil {
+		err = q.handler(chain, tl)
+	}
+	q.used.Add(1)
+	q.cUsed.Inc()
+	return err
+}
+
+// SubmitAll kicks the device once and drains the whole avail window: every
+// staged chain plus the optional tail. It returns one error slot per chain
+// (staged order, tail last) and a structural error only when the queue has
+// no device handler at all. Chains the fault injector rejects fail alone
+// with their slot set; the rest of the window still reaches the device, and
+// every chain lands on the used ring — a corrupted chain must never wedge
+// the drain.
+func (q *Queue) SubmitAll(tail *Chain, tl *simtime.Timeline) ([]error, error) {
+	chains := q.pending
+	q.pending = nil
+	if tail != nil {
+		q.avail.Add(1)
+		q.cAvail.Inc()
+		chains = append(chains, tail)
+	}
+	if len(chains) == 0 {
+		return nil, nil
+	}
+	if q.handler == nil && q.winHandler == nil {
+		// Re-publish so the caller can observe the stuck window; nothing was
+		// consumed.
+		q.pending = chains
+		if tail != nil {
+			q.pending = chains[:len(chains)-1]
+			q.avail.Add(-1)
+			q.cAvail.Add(-1)
+		}
+		return nil, ErrNoHandler
+	}
+	q.kicks.Add(1)
+	q.cKicks.Inc()
+	errs := make([]error, len(chains))
+	live := make([]*Chain, 0, len(chains))
+	liveIdx := make([]int, 0, len(chains))
+	for i, c := range chains {
+		q.submitted.Add(1)
+		q.cChains.Inc()
+		q.cDescs.Add(int64(len(c.Descs)))
+		if len(c.Descs) > q.size {
+			errs[i] = fmt.Errorf("%w: %d > %d", ErrChainTooLong, len(c.Descs), q.size)
+			continue
+		}
+		if q.fault != nil {
+			if ferr := q.fault(q.name, c); ferr != nil {
+				errs[i] = fmt.Errorf("%w: %v", ErrDeviceFailed, ferr)
+				continue
+			}
+		}
+		live = append(live, c)
+		liveIdx = append(liveIdx, i)
+	}
+	if q.winHandler != nil {
+		for i, err := range q.winHandler(live, tl) {
+			if i < len(liveIdx) {
+				errs[liveIdx[i]] = err
+			}
+		}
+	} else {
+		for i, c := range live {
+			errs[liveIdx[i]] = q.handler(c, tl)
+		}
+	}
+	q.used.Add(int64(len(chains)))
+	q.cUsed.Add(int64(len(chains)))
+	return errs, nil
 }
 
 // DeviceConfig is the virtio-pim configuration space: what the frontend

@@ -154,6 +154,164 @@ func TestQueueSubmit(t *testing.T) {
 	}
 }
 
+// TestQueueWindow exercises the pipelined path: staged chains accumulate on
+// the avail ring without kicking, SubmitAll drains them with exactly one
+// kick, and the used index catches up to avail.
+func TestQueueWindow(t *testing.T) {
+	q := NewQueue("transferq", 8)
+	chain := func() *Chain { return &Chain{Descs: make([]Desc, 2)} }
+	if err := q.Stage(chain()); !errors.Is(err, ErrNoHandler) {
+		t.Errorf("stage without handler: want ErrNoHandler, got %v", err)
+	}
+	handled := 0
+	q.SetHandler(func(c *Chain, tl *simtime.Timeline) error {
+		handled++
+		return nil
+	})
+	if err := q.Stage(&Chain{Descs: make([]Desc, 9)}); !errors.Is(err, ErrChainTooLong) {
+		t.Errorf("want ErrChainTooLong, got %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.Stage(chain()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Pending() != 3 || q.Kicks() != 0 || handled != 0 {
+		t.Fatalf("after staging: pending=%d kicks=%d handled=%d", q.Pending(), q.Kicks(), handled)
+	}
+	errs, err := q.SubmitAll(chain(), simtime.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 4 {
+		t.Fatalf("want 4 error slots, got %d", len(errs))
+	}
+	for i, e := range errs {
+		if e != nil {
+			t.Errorf("chain %d: %v", i, e)
+		}
+	}
+	if handled != 4 || q.Submitted() != 4 || q.Kicks() != 1 || q.Pending() != 0 {
+		t.Errorf("handled=%d submitted=%d kicks=%d pending=%d",
+			handled, q.Submitted(), q.Kicks(), q.Pending())
+	}
+	// Empty drain is a no-op.
+	errs, err = q.SubmitAll(nil, simtime.New())
+	if err != nil || errs != nil {
+		t.Errorf("empty drain: errs=%v err=%v", errs, err)
+	}
+	if q.Kicks() != 1 {
+		t.Errorf("empty drain must not kick: kicks=%d", q.Kicks())
+	}
+}
+
+// TestQueueWindowFaultIsolation plants a fault on one mid-window chain and
+// asserts it fails alone: the other chains complete, the drain does not
+// wedge, and every chain still lands on the used ring.
+func TestQueueWindowFaultIsolation(t *testing.T) {
+	q := NewQueue("transferq", 8)
+	var handledChains []*Chain
+	q.SetHandler(func(c *Chain, tl *simtime.Timeline) error {
+		handledChains = append(handledChains, c)
+		return nil
+	})
+	chains := make([]*Chain, 4)
+	for i := range chains {
+		chains[i] = &Chain{Descs: make([]Desc, 2)}
+		if err := q.Stage(chains[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := chains[1]
+	q.SetFault(func(queue string, c *Chain) error {
+		if c == victim {
+			return errors.New("planted")
+		}
+		return nil
+	})
+	errs, err := q.SubmitAll(nil, simtime.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != 4 {
+		t.Fatalf("want 4 error slots, got %d", len(errs))
+	}
+	for i, e := range errs {
+		if i == 1 {
+			if !errors.Is(e, ErrDeviceFailed) {
+				t.Errorf("victim chain: want ErrDeviceFailed, got %v", e)
+			}
+			continue
+		}
+		if e != nil {
+			t.Errorf("chain %d should survive, got %v", i, e)
+		}
+	}
+	if len(handledChains) != 3 {
+		t.Fatalf("want 3 surviving chains handled, got %d", len(handledChains))
+	}
+	for _, c := range handledChains {
+		if c == victim {
+			t.Error("faulted chain reached the handler")
+		}
+	}
+	if q.Submitted() != 4 || q.Kicks() != 1 {
+		t.Errorf("submitted=%d kicks=%d", q.Submitted(), q.Kicks())
+	}
+}
+
+// TestQueueWindowHandler verifies the window handler receives the surviving
+// chains in one call and its per-chain errors map back to the right slots.
+func TestQueueWindowHandler(t *testing.T) {
+	q := NewQueue("transferq", 8)
+	calls := 0
+	q.SetWindowHandler(func(chains []*Chain, tl *simtime.Timeline) []error {
+		calls++
+		errs := make([]error, len(chains))
+		for i := range chains {
+			if len(chains[i].Descs) == 3 {
+				errs[i] = errors.New("bad chain")
+			}
+		}
+		return errs
+	})
+	for _, n := range []int{2, 3, 2} {
+		if err := q.Stage(&Chain{Descs: make([]Desc, n)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs, err := q.SubmitAll(nil, simtime.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("window handler called %d times, want 1", calls)
+	}
+	if errs[0] != nil || errs[1] == nil || errs[2] != nil {
+		t.Errorf("error mapping wrong: %v", errs)
+	}
+}
+
+// TestQueueSubmitDrainsPending asserts a plain Submit with staged chains
+// drains the whole window (itself as tail) under a single kick.
+func TestQueueSubmitDrainsPending(t *testing.T) {
+	q := NewQueue("transferq", 8)
+	handled := 0
+	q.SetHandler(func(c *Chain, tl *simtime.Timeline) error {
+		handled++
+		return nil
+	})
+	if err := q.Stage(&Chain{Descs: make([]Desc, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(&Chain{Descs: make([]Desc, 2)}, simtime.New()); err != nil {
+		t.Fatal(err)
+	}
+	if handled != 2 || q.Kicks() != 1 || q.Pending() != 0 {
+		t.Errorf("handled=%d kicks=%d pending=%d", handled, q.Kicks(), q.Pending())
+	}
+}
+
 func TestOpString(t *testing.T) {
 	names := map[Op]string{
 		OpConfig: "config", OpCI: "ci", OpLoadProgram: "load", OpLaunch: "launch",
