@@ -1,0 +1,51 @@
+package vpim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/conformance"
+)
+
+// TestChaosClusterReplayable runs each cluster chaos seed twice and
+// asserts the outcomes — the step log, merged counter snapshot and routing
+// statistics — are identical: the seed is a complete one-line reproduction
+// of shard deaths, failovers, rebalances and cross-shard restores.
+func TestChaosClusterReplayable(t *testing.T) {
+	seeds := []int64{5, 17, 41, 89}
+	if testing.Short() || raceEnabled {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		first, err := conformance.RunClusterChaos(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		second, err := conformance.RunClusterChaos(seed)
+		if err != nil {
+			t.Fatalf("seed %d replay: %v", seed, err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("seed %d is not replayable:\n first: %+v\nsecond: %+v", seed, first, second)
+		}
+		t.Logf("seed %d: %d steps logged, placements=%d rebalances=%d failovers=%d deaths=%d",
+			seed, len(first.Log), first.Stats.Placements, first.Stats.Rebalances,
+			first.Stats.Failovers, first.Stats.ShardDeaths)
+	}
+}
+
+// TestClusterSingleShardInvisible is the full-stack N=1 invisibility
+// property: a VM running over a 1-shard cluster must be bit-identical —
+// readback digest, TraceJSON bytes, VM counters and manager counter
+// totals — to the same VM over a plain Manager.
+func TestClusterSingleShardInvisible(t *testing.T) {
+	apps := []string{"RED", "TRNS"}
+	if testing.Short() || raceEnabled {
+		apps = apps[:1]
+	}
+	for _, app := range apps {
+		if err := conformance.ClusterInvisibleProbe(app); err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+	}
+}

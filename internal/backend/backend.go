@@ -26,7 +26,7 @@ import (
 type Backend struct {
 	id     string
 	mach   *pim.Machine
-	mgr    *manager.Manager
+	mgr    manager.RankManager
 	mem    *hostmem.Memory
 	model  cost.Model
 	engine cost.Engine
@@ -92,7 +92,7 @@ func (b *Backend) SetHostWorkers(n int) { b.hostWorkers = n }
 
 // New wires a backend. engine selects the Rust or C copy path; loop is the
 // VM-wide event loop shared by all vUPMEM devices.
-func New(id string, mach *pim.Machine, mgr *manager.Manager, mem *hostmem.Memory, engine cost.Engine, loop *EventLoop) *Backend {
+func New(id string, mach *pim.Machine, mgr manager.RankManager, mem *hostmem.Memory, engine cost.Engine, loop *EventLoop) *Backend {
 	return &Backend{
 		id:     id,
 		mach:   mach,

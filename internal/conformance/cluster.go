@@ -1,0 +1,214 @@
+// Cluster conformance cell: the sharded rank pool behind the placement
+// router must be invisible to the guest. The cell runs one application on a
+// VM whose arbiter is an N-shard manager.Cluster and differentially
+// compares it against a single-manager twin: the readback digest must be
+// bit-identical and the manager.* counter totals — recovered by summing the
+// per-shard snapshots the cluster tags with #shard<i> — must reconcile
+// exactly. ClusterInvisibleProbe sharpens the same claim for N = 1: a
+// one-shard cluster is indistinguishable from a plain Manager down to the
+// trace bytes.
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/manager"
+	"repro/internal/obs"
+	"repro/internal/pim"
+	"repro/internal/prim"
+	"repro/internal/vmm"
+)
+
+// newClusterMachine builds a conformance machine fronted by an n-shard
+// cluster: the same geometry as newMachine, with the rank pool split into
+// contiguous per-shard slices and routed by deterministic seeded p2c.
+func newClusterMachine(n int) (*pim.Machine, *manager.Cluster, error) {
+	mach, err := pim.NewMachine(pim.MachineConfig{
+		Ranks: confRanks,
+		Rank:  pim.RankConfig{DPUs: confDPUs, MRAMBytes: confMRAMBytes},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := prim.Register(mach.Registry()); err != nil {
+		return nil, nil, err
+	}
+	cl, err := manager.NewCluster(mach, n, managerOpts(), manager.ClusterOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mach, cl, nil
+}
+
+// managerTotals strips the cluster's own routing counters from an
+// aggregated snapshot, leaving only the manager.* totals that a plain
+// single-manager snapshot is directly comparable against.
+func managerTotals(agg map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(agg))
+	for k, v := range agg {
+		if strings.HasPrefix(k, "cluster.") {
+			continue
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// diffCounters asserts got == want key for key in both directions (a
+// missing key counts as zero).
+func diffCounters(label string, got, want map[string]int64) error {
+	for k, w := range want {
+		if g := got[k]; g != w {
+			return fmt.Errorf("%s: counter %s = %d, want %d", label, k, g, w)
+		}
+	}
+	for k, g := range got {
+		if _, ok := want[k]; !ok && g != 0 {
+			return fmt.Errorf("%s: unexpected counter %s = %d", label, k, g)
+		}
+	}
+	return nil
+}
+
+// runClusterCell executes app on a VM backed by a cfg.ClusterShards-shard
+// cluster and reconciles it against a single-manager twin.
+func runClusterCell(app prim.App, cfg Config) (runResult, error) {
+	mach, cl, err := newClusterMachine(cfg.ClusterShards)
+	if err != nil {
+		return runResult{}, err
+	}
+	vm, err := vmm.NewVM(mach, cl, vmm.Config{
+		Name:    "conf",
+		VCPUs:   16,
+		VUPMEMs: confRanks,
+		Options: cfg.Opts,
+	})
+	if err != nil {
+		return runResult{}, err
+	}
+	dg, err := RunApp(vm, app, params())
+	if err != nil {
+		return runResult{}, err
+	}
+
+	// Single-manager twin: identical machine, identical VM, plain Manager.
+	mach2, mgr2, err := newMachine()
+	if err != nil {
+		return runResult{}, err
+	}
+	vm2, err := vmm.NewVM(mach2, mgr2, vmm.Config{
+		Name:    "conf",
+		VCPUs:   16,
+		VUPMEMs: confRanks,
+		Options: cfg.Opts,
+	})
+	if err != nil {
+		return runResult{}, err
+	}
+	dg2, err := RunApp(vm2, app, params())
+	if err != nil {
+		return runResult{}, fmt.Errorf("single-manager twin: %w", err)
+	}
+	if dg != dg2 {
+		return runResult{}, fmt.Errorf("cluster digest %v differs from single-manager twin %v (sharding visible to guest)", dg, dg2)
+	}
+	got := managerTotals(obs.Aggregate(cl.Metrics()))
+	want := obs.Aggregate(mgr2.Metrics())
+	if err := diffCounters("cluster vs single-manager", got, want); err != nil {
+		return runResult{}, err
+	}
+
+	// Routing sanity: the cluster placed every device allocation, and the
+	// per-shard placement counters sum to the cluster total.
+	st := cl.Stats()
+	if st.Placements < 1 {
+		return runResult{}, fmt.Errorf("cluster ran app with %d placements", st.Placements)
+	}
+	var perShard int64
+	for _, si := range st.Shards {
+		perShard += si.Placements
+	}
+	if perShard != st.Placements {
+		return runResult{}, fmt.Errorf("per-shard placements sum %d != cluster total %d", perShard, st.Placements)
+	}
+
+	res := runResult{
+		digest:   dg,
+		total:    vm.Timeline().Now(),
+		counters: obs.Aggregate(vm.Metrics()),
+	}
+	if err := CheckCounters(res.counters, cfg.Opts); err != nil {
+		return runResult{}, err
+	}
+	return res, nil
+}
+
+// ClusterInvisibleProbe runs app on a full-options traced VM twice — once
+// over a plain Manager, once over a 1-shard Cluster — and asserts the two
+// stacks are bit-identical: same readback digest, same TraceJSON bytes,
+// same VM counter aggregate, same manager.* counter totals. A one-shard
+// cluster must be a transparent wrapper.
+func ClusterInvisibleProbe(appName string) error {
+	app, err := prim.Lookup(appName)
+	if err != nil {
+		return err
+	}
+	type probe struct {
+		digest   Digest
+		trace    []byte
+		vmAgg    map[string]int64
+		mgrTotal map[string]int64
+	}
+	run := func(mach *pim.Machine, arb manager.RankManager, metrics func() map[string]int64) (probe, error) {
+		vm, err := vmm.NewVM(mach, arb, vmm.Config{
+			Name:    "probe",
+			VCPUs:   16,
+			VUPMEMs: confRanks,
+			Options: vmm.Full(),
+		})
+		if err != nil {
+			return probe{}, err
+		}
+		vm.EnableTracing()
+		dg, err := RunApp(vm, app, params())
+		if err != nil {
+			return probe{}, err
+		}
+		return probe{
+			digest:   dg,
+			trace:    vm.TraceJSON(),
+			vmAgg:    obs.Aggregate(vm.Metrics()),
+			mgrTotal: managerTotals(obs.Aggregate(metrics())),
+		}, nil
+	}
+
+	mach, mgr, err := newMachine()
+	if err != nil {
+		return err
+	}
+	plain, err := run(mach, mgr, mgr.Metrics)
+	if err != nil {
+		return fmt.Errorf("plain manager stack: %w", err)
+	}
+	mach2, cl, err := newClusterMachine(1)
+	if err != nil {
+		return err
+	}
+	sharded, err := run(mach2, cl, cl.Metrics)
+	if err != nil {
+		return fmt.Errorf("1-shard cluster stack: %w", err)
+	}
+
+	if plain.digest != sharded.digest {
+		return fmt.Errorf("1-shard cluster digest %v != plain manager digest %v", sharded.digest, plain.digest)
+	}
+	if !bytes.Equal(plain.trace, sharded.trace) {
+		return fmt.Errorf("1-shard cluster TraceJSON differs from plain manager (%d vs %d bytes)", len(sharded.trace), len(plain.trace))
+	}
+	if err := diffCounters("vm counters", sharded.vmAgg, plain.vmAgg); err != nil {
+		return err
+	}
+	return diffCounters("manager totals", sharded.mgrTotal, plain.mgrTotal)
+}

@@ -1,0 +1,150 @@
+package manager
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClientDialRetriesSlowListener dials before the daemon's socket
+// exists: the bounded dial retry must ride out the gap and connect once
+// the listener appears (a daemon mid-restart refuses connections briefly).
+func TestClientDialRetriesSlowListener(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "mgr.sock")
+	srv := NewServer(New(testMachine(t, 1), Options{}))
+	done := make(chan error, 1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		l, err := net.Listen("unix", sock)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- srv.Serve(l)
+	}()
+	client, err := DialWith("unix", sock, DialOptions{Retries: 20, Backoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("dial did not ride out the listener gap: %v", err)
+	}
+	states, err := client.States()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 {
+		t.Errorf("states = %v", states)
+	}
+	_ = client.Close()
+	srv.Shutdown()
+	if err := <-done; err != nil {
+		t.Errorf("Serve returned %v", err)
+	}
+}
+
+// TestClientDialFailureWrapsCause exhausts the dial budget against a
+// socket that never appears: the error must say how many attempts were
+// spent and wrap the underlying dial error.
+func TestClientDialFailureWrapsCause(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "absent.sock")
+	_, err := DialWith("unix", sock, DialOptions{Retries: 2, Backoff: time.Millisecond})
+	if err == nil {
+		t.Fatal("dial to an absent socket succeeded")
+	}
+	if !strings.Contains(err.Error(), "2 attempts") {
+		t.Errorf("dial error does not report the attempt budget: %v", err)
+	}
+}
+
+// flakyServer accepts connections on l and answers each request line with
+// reply — except the first drop connections, which are closed mid-reply
+// (after reading the request, before answering), simulating a daemon
+// crash/restart between request and response.
+func flakyServer(t *testing.T, l net.Listener, drop int, reply string) {
+	t.Helper()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn, die bool) {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				for {
+					if _, err := r.ReadBytes('\n'); err != nil {
+						return
+					}
+					if die {
+						return // close without replying: mid-reply failure
+					}
+					if _, err := io.WriteString(conn, reply+"\n"); err != nil {
+						return
+					}
+				}
+			}(conn, drop > 0)
+			if drop > 0 {
+				drop--
+			}
+		}
+	}()
+}
+
+// TestClientRetriesMidReplyClose sends a request whose connection the
+// server kills before answering: the client must transparently redial and
+// resend instead of surfacing the dead connection to the caller.
+func TestClientRetriesMidReplyClose(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "mgr.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	flakyServer(t, l, 1, `{"ok":true,"states":["NAAV"]}`)
+
+	client, err := DialWith("unix", sock, DialOptions{Retries: 3, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	states, err := client.States()
+	if err != nil {
+		t.Fatalf("client gave up on a transient mid-reply close: %v", err)
+	}
+	if len(states) != 1 || states[0] != "NAAV" {
+		t.Errorf("states after retry = %v", states)
+	}
+}
+
+// TestClientSurfacesUnderlyingError exhausts the retry budget against a
+// server that always closes mid-reply: the final error must wrap the real
+// transport cause (io.EOF) so callers can errors.Is against it, not a
+// synthetic replacement.
+func TestClientSurfacesUnderlyingError(t *testing.T) {
+	sock := filepath.Join(t.TempDir(), "mgr.sock")
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	flakyServer(t, l, 1<<30, "")
+
+	client, err := DialWith("unix", sock, DialOptions{Retries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	_, err = client.States()
+	if err == nil {
+		t.Fatal("request against an always-crashing server succeeded")
+	}
+	if !errors.Is(err, io.EOF) {
+		t.Errorf("final error does not wrap the underlying io.EOF: %v", err)
+	}
+	if !strings.Contains(err.Error(), "2 attempts") {
+		t.Errorf("final error does not report the attempt budget: %v", err)
+	}
+}

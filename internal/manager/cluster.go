@@ -1,0 +1,1152 @@
+// Multi-pool rank federation: a Cluster fronts N Manager shards, each
+// owning a disjoint slice of the machine's ranks, so the manager layer —
+// the one piece the paper leaves centralized — scales out without the
+// guest noticing. Three mechanisms make the federation real:
+//
+//   - Placement. Incoming allocations are routed power-of-two-choices on
+//     current load (or plain round-robin under PlaceRR): sample two shards,
+//     send the request to the one with more free ranks and fewer waiters.
+//     An owner's placement is sticky — its parked snapshots, NANA reuse
+//     rank and scheduling account all live on its home shard — but an
+//     owner whose home shard is saturated is re-placed rather than parked
+//     when another shard has a free rank. A request parks in a shard's
+//     FIFO queue only when every live shard is saturated.
+//
+//   - Rebalancing. Rebalance drains hot shards (waiters queued) into cold
+//     ones (free ranks) by reusing the preemption machinery: the hot
+//     shard checkpoints its longest-running tenant exactly like a
+//     scheduler preemption, but the snapshot parks on the cold shard and
+//     the owner's placement moves with it; the tenant's next operation
+//     restores there through the ordinary resume path. Cross-shard
+//     MigrateOwned works the same way but restores eagerly, returning the
+//     new rank.
+//
+//   - Failure domains. A shard dies as a unit (KillShard): its waiters
+//     are woken and transparently re-placed onto surviving shards
+//     (bounded retry with backoff, counted on cluster.failovers), its
+//     ranks report as quarantined, and owners whose state lived there see
+//     ErrRankFaulted on their next operation — the same contract as a
+//     rank death, so the backend's oversubscription failover already
+//     handles it.
+//
+// With a single shard the cluster is observationally invisible: every
+// request routes to shard 0 and the wrapper adds no latency, no state and
+// no counter drift (the N=1 property test pins this).
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pim"
+)
+
+// RankManager is the allocation surface a device backend drives. Both the
+// single Manager and the sharded Cluster implement it, so the VMM layers
+// above are topology-oblivious.
+type RankManager interface {
+	// Alloc reserves one rank for owner (blocking, FIFO per pool).
+	Alloc(owner string) (*pim.Rank, time.Duration, error)
+	// Acquire pins owner's rank for one operation, restoring parked
+	// preemption state if needed.
+	Acquire(owner string, r *pim.Rank) (*pim.Rank, AcquireCost, error)
+	// EndOp unpins a rank and charges elapsed runtime to its owner.
+	EndOp(r *pim.Rank, elapsed time.Duration)
+	// ReleaseOwned returns owner's rank (or discards its parked state).
+	ReleaseOwned(owner string, r *pim.Rank) error
+	// MigrateOwned consolidates owner's rank onto another rank.
+	MigrateOwned(owner string, from *pim.Rank) (*pim.Rank, time.Duration, error)
+	// Discard drops owner's parked snapshot without an allocation.
+	Discard(owner string) bool
+}
+
+var (
+	_ RankManager = (*Manager)(nil)
+	_ RankManager = (*Cluster)(nil)
+)
+
+// PlacementPolicy selects how the cluster routes new owners to shards.
+type PlacementPolicy int
+
+const (
+	// PlaceP2C samples two shards and picks the less loaded
+	// (power-of-two-choices): near-optimal load spread at O(1) cost.
+	PlaceP2C PlacementPolicy = iota
+	// PlaceRR routes new owners round-robin over live shards, ignoring
+	// load (the predictable baseline).
+	PlaceRR
+)
+
+// String implements fmt.Stringer.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlaceP2C:
+		return "p2c"
+	case PlaceRR:
+		return "rr"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// ParsePlacement maps the -placement flag values to policies.
+func ParsePlacement(s string) (PlacementPolicy, error) {
+	switch s {
+	case "p2c", "":
+		return PlaceP2C, nil
+	case "rr":
+		return PlaceRR, nil
+	default:
+		return 0, fmt.Errorf("manager: unknown placement policy %q (want p2c or rr)", s)
+	}
+}
+
+// ClusterOptions tunes the federation layer. Zero values select defaults.
+type ClusterOptions struct {
+	// Placement selects the routing policy (default PlaceP2C).
+	Placement PlacementPolicy
+	// Seed seeds the deterministic sampling stream of PlaceP2C; runs with
+	// equal seeds and equal request interleavings place identically.
+	// 0 selects 1.
+	Seed int64
+	// FailoverRetries bounds how many times an allocation interrupted by
+	// a shard death is re-placed onto surviving shards before the error
+	// surfaces. 0 selects 2.
+	FailoverRetries int
+	// FailoverBackoff is the pause between failover attempts; the
+	// requester really sleeps it and is charged it on the virtual clock.
+	// 0 selects 2ms.
+	FailoverBackoff time.Duration
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.FailoverRetries == 0 {
+		o.FailoverRetries = 2
+	}
+	if o.FailoverBackoff == 0 {
+		o.FailoverBackoff = 2 * time.Millisecond
+	}
+	return o
+}
+
+// shard is one federated pool: a Manager plus its cluster-side liveness.
+// The dead flag is written exactly once (false -> true) and read on every
+// routing decision, so it is atomic rather than cluster-lock guarded.
+type shard struct {
+	index int
+	mgr   *Manager
+	dead  atomic.Bool
+	// placed counts allocations routed to this shard (cluster registry).
+	placed *obs.Counter
+}
+
+// Cluster federates N Manager shards behind one RankManager surface.
+// All methods are safe for concurrent use. The cluster never holds its
+// own lock across a blocking shard call; the shards slice is immutable
+// after construction.
+type Cluster struct {
+	opts ClusterOptions
+
+	mu        sync.Mutex
+	shards    []*shard
+	placement map[string]int // owner -> home shard index
+	rng       *rand.Rand
+	rrNext    int
+	closed    bool
+
+	reg         *obs.Registry
+	cPlacements *obs.Counter
+	cRebalances *obs.Counter
+	cFailovers  *obs.Counter
+	cDeaths     *obs.Counter
+}
+
+// NewCluster shards machine's ranks into n disjoint contiguous pools, one
+// Manager per pool, all sharing opts. n must be in [1, ranks].
+func NewCluster(machine *pim.Machine, n int, opts Options, copts ClusterOptions) (*Cluster, error) {
+	ranks := machine.Ranks()
+	if n < 1 || n > len(ranks) {
+		return nil, fmt.Errorf("manager: %d shards over %d ranks", n, len(ranks))
+	}
+	mgrs := make([]*Manager, n)
+	per, rem := len(ranks)/n, len(ranks)%n
+	lo := 0
+	for i := 0; i < n; i++ {
+		size := per
+		if i < rem {
+			size++
+		}
+		mgrs[i] = NewOver(machine, ranks[lo:lo+size], opts)
+		lo += size
+	}
+	return NewClusterOf(mgrs, copts)
+}
+
+// NewClusterOf federates pre-built shard managers — the general form,
+// allowing shards over distinct machines or backends (native hardware
+// pools mixed with simulator pools). Shards must own disjoint ranks.
+func NewClusterOf(mgrs []*Manager, copts ClusterOptions) (*Cluster, error) {
+	if len(mgrs) == 0 {
+		return nil, errors.New("manager: cluster needs at least one shard")
+	}
+	copts = copts.withDefaults()
+	reg := obs.NewRegistry()
+	c := &Cluster{
+		opts:        copts,
+		placement:   make(map[string]int),
+		rng:         rand.New(rand.NewSource(copts.Seed)),
+		reg:         reg,
+		cPlacements: reg.Counter("cluster.placements"),
+		cRebalances: reg.Counter("cluster.rebalances"),
+		cFailovers:  reg.Counter("cluster.failovers"),
+		cDeaths:     reg.Counter("cluster.shard.deaths"),
+	}
+	for i, m := range mgrs {
+		c.shards = append(c.shards, &shard{
+			index:  i,
+			mgr:    m,
+			placed: reg.Counter(fmt.Sprintf("cluster.shard%d.placements", i)),
+		})
+	}
+	return c, nil
+}
+
+// NumShards reports the shard count (dead shards included).
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Shard exposes shard i's Manager (tests and fault injection).
+func (c *Cluster) Shard(i int) *Manager { return c.shards[i].mgr }
+
+// ShardDead reports whether shard i has been killed.
+func (c *Cluster) ShardDead(i int) bool { return c.shards[i].dead.Load() }
+
+// ---------------------------------------------------------------------------
+// Placement.
+
+// shardLoad is one shard's instantaneous routing signal.
+type shardLoad struct {
+	sh      *shard
+	free    int // usable NAAV+NANA ranks
+	allo    int
+	waiters int
+}
+
+// less orders loads: more free capacity first, then fewer waiters, then
+// fewer residents, then lower index (a deterministic total order).
+func (a shardLoad) less(b shardLoad) bool {
+	if a.free != b.free {
+		return a.free > b.free
+	}
+	if a.waiters != b.waiters {
+		return a.waiters < b.waiters
+	}
+	if a.allo != b.allo {
+		return a.allo < b.allo
+	}
+	return a.sh.index < b.sh.index
+}
+
+// loads snapshots every live shard's routing signal.
+func (c *Cluster) loads() []shardLoad {
+	var out []shardLoad
+	for _, sh := range c.shards {
+		if sh.dead.Load() {
+			continue
+		}
+		free, allo, waiters := sh.mgr.loadSnapshot()
+		out = append(out, shardLoad{sh: sh, free: free, allo: allo, waiters: waiters})
+	}
+	return out
+}
+
+// pickLocked chooses a shard for a fresh placement. Candidates are live
+// shards with free capacity; only when none has a free rank does every
+// live shard qualify (the request then parks, or is served by the shard's
+// preemptive scheduler). Returns nil when no live shard exists.
+func (c *Cluster) pickLocked() *shard {
+	loads := c.loads()
+	if len(loads) == 0 {
+		return nil
+	}
+	var cands []shardLoad
+	for _, l := range loads {
+		if l.free > 0 {
+			cands = append(cands, l)
+		}
+	}
+	if len(cands) == 0 {
+		cands = loads
+	}
+	if c.opts.Placement == PlaceRR {
+		sort.Slice(cands, func(i, j int) bool { return cands[i].sh.index < cands[j].sh.index })
+		pick := cands[c.rrNext%len(cands)]
+		c.rrNext++
+		return pick.sh
+	}
+	if len(cands) == 1 {
+		return cands[0].sh
+	}
+	// Power of two choices: sample two distinct candidates, keep the less
+	// loaded one.
+	i := c.rng.Intn(len(cands))
+	j := c.rng.Intn(len(cands) - 1)
+	if j >= i {
+		j++
+	}
+	if cands[j].less(cands[i]) {
+		return cands[j].sh
+	}
+	return cands[i].sh
+}
+
+// place resolves owner's target shard for an allocation, re-placing when
+// the home shard is dead (a failover) or saturated while capacity exists
+// elsewhere. The returned shard may still park the request — but only if
+// every live shard was saturated at decision time.
+func (c *Cluster) place(owner string) (*shard, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if i, ok := c.placement[owner]; ok {
+		sh := c.shards[i]
+		if sh.dead.Load() {
+			// The owner's state died with its shard; route the fresh
+			// allocation elsewhere.
+			delete(c.placement, owner)
+			c.cFailovers.Inc()
+		} else {
+			free, _, _ := sh.mgr.loadSnapshot()
+			if free > 0 || sh.mgr.hasParked(owner) {
+				return sh, nil
+			}
+			// Home saturated and nothing parked there: move only if
+			// another live shard has a free rank, otherwise stay (the
+			// home shard's queue/scheduler is the right place to wait).
+			better := false
+			for _, l := range c.loads() {
+				if l.sh != sh && l.free > 0 {
+					better = true
+					break
+				}
+			}
+			if !better {
+				return sh, nil
+			}
+			delete(c.placement, owner)
+		}
+	}
+	sh := c.pickLocked()
+	if sh == nil {
+		return nil, fmt.Errorf("%w: no live shard", ErrNoRanks)
+	}
+	c.placement[owner] = sh.index
+	c.cPlacements.Inc()
+	sh.placed.Inc()
+	return sh, nil
+}
+
+// home returns owner's current home shard, nil when unplaced. Reports
+// dead=true (and forgets the placement) when the home shard was killed.
+func (c *Cluster) home(owner string) (sh *shard, dead bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.placement[owner]
+	if !ok {
+		return nil, false
+	}
+	if c.shards[i].dead.Load() {
+		delete(c.placement, owner)
+		c.cFailovers.Inc()
+		return nil, true
+	}
+	return c.shards[i], false
+}
+
+// ---------------------------------------------------------------------------
+// RankManager surface.
+
+// Alloc routes the allocation through placement and blocks on the chosen
+// shard's FIFO queue like a direct Manager allocation would.
+func (c *Cluster) Alloc(owner string) (*pim.Rank, time.Duration, error) {
+	rank, wait, ck, err := c.alloc(owner, allocHooks{})
+	return rank, wait + ck, err
+}
+
+// alloc is the blocking core, shared with the wire server (which threads
+// park/unpark hooks through). A shard death mid-wait surfaces as ErrClosed
+// from the shard while the cluster itself is open; the request then fails
+// over: bounded re-placement attempts onto surviving shards, each after a
+// real (and charged) backoff sleep.
+func (c *Cluster) alloc(owner string, hooks allocHooks) (*pim.Rank, time.Duration, time.Duration, error) {
+	var waited time.Duration
+	for attempt := 0; ; attempt++ {
+		sh, err := c.place(owner)
+		if err != nil {
+			return nil, waited, 0, err
+		}
+		rank, wait, ck, aerr := sh.mgr.alloc(owner, hooks)
+		waited += wait
+		if aerr == nil {
+			return rank, waited, ck, nil
+		}
+		if !errors.Is(aerr, ErrClosed) || c.isClosed() {
+			return nil, waited, ck, aerr
+		}
+		// The shard closed under a live cluster: it died. Mark it (Close
+		// and KillShard may race; marking is idempotent), forget the
+		// placement and retry elsewhere.
+		c.noteDead(sh)
+		c.forget(owner, sh.index)
+		c.cFailovers.Inc()
+		if attempt >= c.opts.FailoverRetries {
+			return nil, waited, 0, fmt.Errorf("manager: shard %d died; failover budget exhausted: %w", sh.index, ErrNoRanks)
+		}
+		time.Sleep(c.opts.FailoverBackoff)
+		waited += c.opts.FailoverBackoff
+	}
+}
+
+func (c *Cluster) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// noteDead marks a shard dead after observing its manager closed.
+func (c *Cluster) noteDead(sh *shard) {
+	if sh.dead.CompareAndSwap(false, true) {
+		c.cDeaths.Inc()
+	}
+}
+
+// forget drops owner's placement if it still points at shard i.
+func (c *Cluster) forget(owner string, i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j, ok := c.placement[owner]; ok && j == i {
+		delete(c.placement, owner)
+	}
+}
+
+// Acquire routes to the owner's home shard. An owner whose home shard died
+// lost its rank and parked state with it: ErrRankFaulted, the same
+// contract as a rank death, so callers fail over identically.
+func (c *Cluster) Acquire(owner string, r *pim.Rank) (*pim.Rank, AcquireCost, error) {
+	if c.isClosed() {
+		return nil, AcquireCost{}, ErrClosed
+	}
+	sh, dead := c.home(owner)
+	if sh == nil {
+		if dead {
+			return nil, AcquireCost{}, fmt.Errorf("%w: home shard died", ErrRankFaulted)
+		}
+		return nil, AcquireCost{}, ErrRankFaulted
+	}
+	return sh.mgr.Acquire(owner, r)
+}
+
+// EndOp forwards to the live shard owning r; unknown ranks (simulated, or
+// on a dead shard) are tolerated like Manager.EndOp tolerates them.
+func (c *Cluster) EndOp(r *pim.Rank, elapsed time.Duration) {
+	if sh := c.owningShard(r); sh != nil {
+		sh.mgr.EndOp(r, elapsed)
+	}
+}
+
+// owningShard finds the live shard whose rank table contains r.
+func (c *Cluster) owningShard(r *pim.Rank) *shard {
+	for _, sh := range c.shards {
+		if !sh.dead.Load() && sh.mgr.owns(r) {
+			return sh
+		}
+	}
+	return nil
+}
+
+// ReleaseOwned returns owner's rank on its home shard. Releasing state
+// that died with its shard trivially succeeds — the rank is gone.
+func (c *Cluster) ReleaseOwned(owner string, r *pim.Rank) error {
+	sh, dead := c.home(owner)
+	if sh == nil {
+		if dead {
+			return nil
+		}
+		return fmt.Errorf("%w: owner %s is not placed", ErrNotAllocated, owner)
+	}
+	return sh.mgr.ReleaseOwned(owner, r)
+}
+
+// Discard drops owner's parked snapshot on its home shard.
+func (c *Cluster) Discard(owner string) bool {
+	sh, _ := c.home(owner)
+	if sh == nil {
+		return false
+	}
+	return sh.mgr.Discard(owner)
+}
+
+// MigrateOwned consolidates owner's rank: first within its home shard
+// (the ordinary Manager migration), then — when the home shard has no
+// target — across shards: the source shard checkpoints and frees the rank
+// (charged to the caller, like any migration), the snapshot moves to the
+// least-loaded live shard with a free rank, the owner's placement follows,
+// and the snapshot is restored there eagerly. A failed cross-shard restore
+// quarantines the target and leaves the snapshot parked on the new home
+// shard, so the tenant's next Acquire resumes it — the move degrades to a
+// rebalance instead of losing bytes.
+func (c *Cluster) MigrateOwned(owner string, from *pim.Rank) (*pim.Rank, time.Duration, error) {
+	sh, dead := c.home(owner)
+	if sh == nil {
+		if dead {
+			return nil, 0, fmt.Errorf("%w: home shard died (owner %s)", ErrNotAllocated, owner)
+		}
+		return nil, 0, fmt.Errorf("%w: owner %s is not placed", ErrNotAllocated, owner)
+	}
+	dst, dur, err := sh.mgr.MigrateOwned(owner, from)
+	if err == nil || !errors.Is(err, ErrNoRanks) {
+		return dst, dur, err
+	}
+
+	// Home shard full: go cross-shard. Pick the best other live shard with
+	// capacity before touching the source, so a doomed move never evicts.
+	target := c.coldShard(sh)
+	if target == nil {
+		return nil, dur, err // the original "no migration target"
+	}
+	snap, ckDur, eerr := sh.mgr.evictOwned(owner, from)
+	if eerr != nil {
+		return nil, dur, eerr
+	}
+	c.rehome(owner, target.index)
+	rank, rsDur, rerr := target.mgr.adoptAndRestore(owner, snap)
+	total := dur + ckDur + rsDur
+	if rerr != nil {
+		// The snapshot stays parked on the new home shard; the tenant
+		// resumes through Acquire. The work actually performed is owed.
+		return nil, total, fmt.Errorf("cross-shard restore on shard %d: %w", target.index, rerr)
+	}
+	c.cRebalances.Inc()
+	return rank, total, nil
+}
+
+// coldShard returns the best live shard other than from with a free rank
+// (nil when none). Deterministic: the shardLoad total order breaks ties.
+func (c *Cluster) coldShard(from *shard) *shard {
+	var best *shardLoad
+	for _, l := range c.loads() {
+		l := l
+		if l.sh == from || l.free == 0 {
+			continue
+		}
+		if best == nil || l.less(*best) {
+			best = &l
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.sh
+}
+
+// rehome moves owner's placement to shard i, counting the placement.
+func (c *Cluster) rehome(owner string, i int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j, ok := c.placement[owner]; ok && j == i {
+		return
+	}
+	c.placement[owner] = i
+	c.cPlacements.Inc()
+	c.shards[i].placed.Inc()
+}
+
+// ---------------------------------------------------------------------------
+// Rebalancing.
+
+// Rebalance drains hot shards into cold ones: while some live shard has
+// waiters queued and another has a free rank and an empty queue, the hot
+// shard checkpoints its longest-running unpinned tenant (exactly a
+// scheduler preemption), the snapshot parks on the cold shard, and the
+// owner's placement moves with it. The freed rank immediately serves the
+// hot shard's queue; the moved tenant resumes on the cold shard through
+// its next Acquire. Returns how many tenants moved. Safe to call from a
+// background tick.
+func (c *Cluster) Rebalance() int {
+	moved := 0
+	for {
+		hot, cold := c.rebalancePair()
+		if hot == nil || cold == nil {
+			return moved
+		}
+		owner, snap, ok := hot.mgr.evictAny()
+		if !ok {
+			// Every resident on the hot shard is pinned, native or
+			// mid-resume; nothing to drain this round.
+			return moved
+		}
+		cold.mgr.park(owner, snap)
+		c.rehome(owner, cold.index)
+		c.cRebalances.Inc()
+		moved++
+	}
+}
+
+// rebalancePair picks the hottest shard with waiters and the coldest with
+// free capacity (nil, nil when no productive pair exists).
+func (c *Cluster) rebalancePair() (hot, cold *shard) {
+	loads := c.loads()
+	var hotL, coldL *shardLoad
+	for i := range loads {
+		l := &loads[i]
+		if l.waiters > 0 && (hotL == nil || l.waiters > hotL.waiters ||
+			(l.waiters == hotL.waiters && l.sh.index < hotL.sh.index)) {
+			hotL = l
+		}
+		if l.free > 0 && l.waiters == 0 && (coldL == nil || l.less(*coldL)) {
+			coldL = l
+		}
+	}
+	if hotL == nil || coldL == nil || hotL.sh == coldL.sh {
+		return nil, nil
+	}
+	return hotL.sh, coldL.sh
+}
+
+// ---------------------------------------------------------------------------
+// Failure domains.
+
+// KillShard takes shard i out of service as one failure domain: its
+// manager closes (waiters wake with ErrClosed and the cluster re-places
+// them on surviving shards), its ranks report quarantined, and owners
+// whose state lived there observe ErrRankFaulted on their next operation.
+// Idempotent; killing the last live shard is allowed — the cluster then
+// behaves like a fully quarantined machine.
+func (c *Cluster) KillShard(i int) error {
+	if i < 0 || i >= len(c.shards) {
+		return fmt.Errorf("manager: no shard %d", i)
+	}
+	sh := c.shards[i]
+	if !sh.dead.CompareAndSwap(false, true) {
+		return nil
+	}
+	c.cDeaths.Inc()
+	// Closing wakes the shard's waiters; they re-enter the cluster through
+	// the failover path, so no cluster lock may be held here.
+	sh.mgr.Close()
+	return nil
+}
+
+// Close shuts every shard down and fails future allocations fast.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, sh := range c.shards {
+		sh.mgr.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Observer and native surfaces.
+
+// ProcessResets runs the observer pass on every live shard; the erase
+// durations add, as the observer thread works sequentially.
+func (c *Cluster) ProcessResets() time.Duration {
+	var total time.Duration
+	for _, sh := range c.liveShards() {
+		total += sh.mgr.ProcessResets()
+	}
+	return total
+}
+
+// RetryQuarantined re-tests quarantined ranks on every live shard.
+func (c *Cluster) RetryQuarantined() int {
+	n := 0
+	for _, sh := range c.liveShards() {
+		n += sh.mgr.RetryQuarantined()
+	}
+	return n
+}
+
+func (c *Cluster) liveShards() []*shard {
+	var out []*shard
+	for _, sh := range c.shards {
+		if !sh.dead.Load() {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// AcquireNative reserves ranks covering nrDPUs for a host-native
+// application, greedily combining live shards (native sets may span
+// pools). Rolls back fully on shortfall.
+func (c *Cluster) AcquireNative(nrDPUs int) ([]*pim.Rank, error) {
+	var picked []*pim.Rank
+	covered := 0
+	for _, sh := range c.liveShards() {
+		for covered < nrDPUs {
+			ranks, err := sh.mgr.AcquireNative(1)
+			if err != nil {
+				break
+			}
+			for _, r := range ranks {
+				picked = append(picked, r)
+				covered += r.NumDPUs()
+			}
+		}
+		if covered >= nrDPUs {
+			return picked, nil
+		}
+	}
+	for _, r := range picked {
+		c.ReleaseNative(r)
+	}
+	return nil, fmt.Errorf("%w: want %d DPUs", ErrNoRanks, nrDPUs)
+}
+
+// ReleaseNative returns a native application's rank to its shard.
+func (c *Cluster) ReleaseNative(r *pim.Rank) {
+	if sh := c.owningShard(r); sh != nil {
+		sh.mgr.ReleaseNative(r)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+
+// States concatenates the shard rank tables in shard order. Ranks of a
+// dead shard report QUAR: the whole failure domain is out of service.
+func (c *Cluster) States() []RankState {
+	var out []RankState
+	for _, sh := range c.shards {
+		states := sh.mgr.States()
+		if sh.dead.Load() {
+			for i := range states {
+				states[i] = StateQUAR
+			}
+		}
+		out = append(out, states...)
+	}
+	return out
+}
+
+// Release returns a rank by pointer, routing to the owning shard. A rank
+// on a dead shard releases as a no-op, like a quarantined rank.
+func (c *Cluster) Release(r *pim.Rank) error {
+	for _, sh := range c.shards {
+		if sh.mgr.owns(r) {
+			if sh.dead.Load() {
+				return nil
+			}
+			return sh.mgr.Release(r)
+		}
+	}
+	return fmt.Errorf("%w: unknown rank", ErrNotAllocated)
+}
+
+// RankByIndex looks a rank up by machine index across all shards.
+func (c *Cluster) RankByIndex(idx int) (*pim.Rank, bool) {
+	for _, sh := range c.shards {
+		if r, ok := sh.mgr.RankByIndex(idx); ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Waiters sums parked allocation requests across live shards.
+func (c *Cluster) Waiters() int {
+	n := 0
+	for _, sh := range c.liveShards() {
+		n += sh.mgr.Waiters()
+	}
+	return n
+}
+
+// Parked lists owners with checkpointed state parked on any live shard.
+func (c *Cluster) Parked() []string {
+	var out []string
+	for _, sh := range c.liveShards() {
+		out = append(out, sh.mgr.Parked()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Quarantined lists quarantined rank indexes, including every rank of a
+// dead shard — the failure domain's quarantine propagates to its ranks.
+func (c *Cluster) Quarantined() []int {
+	var out []int
+	for _, sh := range c.shards {
+		if sh.dead.Load() {
+			for _, r := range sh.mgr.ranks() {
+				out = append(out, r.Index())
+			}
+			continue
+		}
+		out = append(out, sh.mgr.Quarantined()...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Allocations sums granted allocations across all shards.
+func (c *Cluster) Allocations() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		n += sh.mgr.Allocations()
+	}
+	return n
+}
+
+// Preemptions sums scheduler preemptions (rebalance evictions included)
+// across all shards.
+func (c *Cluster) Preemptions() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		n += sh.mgr.Preemptions()
+	}
+	return n
+}
+
+// SchedRestores sums parked-snapshot restores across all shards.
+func (c *Cluster) SchedRestores() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		n += sh.mgr.SchedRestores()
+	}
+	return n
+}
+
+// Migrations sums completed migrations across all shards.
+func (c *Cluster) Migrations() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		n += sh.mgr.Migrations()
+	}
+	return n
+}
+
+// Metrics merges the cluster counters with every shard's counters, the
+// shard counters tagged "#shard<i>" so obs.Aggregate recovers totals
+// under the original manager.* names. Dead shards keep reporting their
+// final (frozen) values, preserving monotonicity.
+func (c *Cluster) Metrics() map[string]int64 {
+	out := c.reg.Snapshot()
+	for _, sh := range c.shards {
+		tag := fmt.Sprintf("#shard%d", sh.index)
+		for k, v := range sh.mgr.Metrics() {
+			out[k+tag] = v
+		}
+	}
+	return out
+}
+
+// Sched merges per-owner scheduling rows across live shards. An owner
+// rebalanced between shards has accounts on both; the rows merge by
+// summing the counters and keeping the live residency.
+func (c *Cluster) Sched() []OwnerSched {
+	byOwner := make(map[string]*OwnerSched)
+	for _, sh := range c.liveShards() {
+		for _, row := range sh.mgr.Sched() {
+			row := row
+			cur := byOwner[row.Owner]
+			if cur == nil {
+				byOwner[row.Owner] = &row
+				continue
+			}
+			cur.RuntimeNS += row.RuntimeNS
+			cur.SliceNS += row.SliceNS
+			cur.Preemptions += row.Preemptions
+			cur.Restores += row.Restores
+			cur.Parked = cur.Parked || row.Parked
+			if cur.Rank < 0 {
+				cur.Rank = row.Rank
+			}
+		}
+	}
+	out := make([]OwnerSched, 0, len(byOwner))
+	for _, row := range byOwner {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+	return out
+}
+
+// ShardInfo is one shard's row in the `cluster` wire verb.
+type ShardInfo struct {
+	Index int  `json:"index"`
+	Dead  bool `json:"dead"`
+	// Ranks is the shard's pool size; Free/Resident/Quarantined partition
+	// the live table (Resident = ALLO ranks, the shard's residency).
+	Ranks       int   `json:"ranks"`
+	Free        int   `json:"free"`
+	Resident    int   `json:"resident"`
+	Quarantined int   `json:"quarantined"`
+	Waiters     int   `json:"waiters"`
+	Parked      int   `json:"parked"`
+	Granted     int64 `json:"granted"`
+	Placements  int64 `json:"placements"`
+}
+
+// ClusterStats is the `cluster` wire verb payload: the federation's
+// topology and routing counters.
+type ClusterStats struct {
+	Shards      []ShardInfo `json:"shards"`
+	Placements  int64       `json:"placements"`
+	Rebalances  int64       `json:"rebalances"`
+	Failovers   int64       `json:"failovers"`
+	ShardDeaths int64       `json:"shardDeaths"`
+}
+
+// Stats snapshots the cluster topology for the admin surface.
+func (c *Cluster) Stats() ClusterStats {
+	st := ClusterStats{
+		Placements:  c.cPlacements.Load(),
+		Rebalances:  c.cRebalances.Load(),
+		Failovers:   c.cFailovers.Load(),
+		ShardDeaths: c.cDeaths.Load(),
+	}
+	for _, sh := range c.shards {
+		dead := sh.dead.Load()
+		info := ShardInfo{
+			Index:      sh.index,
+			Dead:       dead,
+			Granted:    sh.mgr.Allocations(),
+			Placements: sh.placed.Load(),
+		}
+		states := sh.mgr.States()
+		info.Ranks = len(states)
+		if dead {
+			info.Quarantined = len(states)
+		} else {
+			for _, s := range states {
+				switch s {
+				case StateALLO:
+					info.Resident++
+				case StateQUAR:
+					info.Quarantined++
+				default:
+					info.Free++
+				}
+			}
+			info.Waiters = sh.mgr.Waiters()
+			info.Parked = len(sh.mgr.Parked())
+		}
+		st.Shards = append(st.Shards, info)
+	}
+	return st
+}
+
+// clusterStats implements the server's Arbiter surface.
+func (c *Cluster) clusterStats() (ClusterStats, bool) { return c.Stats(), true }
+
+// threads reports the request-pool bound for a Server fronting this
+// cluster: the widest shard pool (they are normally uniform).
+func (c *Cluster) threads() int {
+	n := 0
+	for _, sh := range c.shards {
+		if t := sh.mgr.threads(); t > n {
+			n = t
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Shard-support methods on Manager (same package: the shards trust the
+// cluster to call these coherently).
+
+// loadSnapshot reports the manager's routing signal: usable free ranks
+// (NAAV+NANA, quarantine excluded), residents and queued waiters.
+func (m *Manager) loadSnapshot() (free, allo, waiters int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.entries {
+		switch m.entries[i].state {
+		case StateNAAV, StateNANA:
+			free++
+		case StateALLO:
+			allo++
+		}
+	}
+	return free, allo, len(m.waiters)
+}
+
+// hasParked reports whether owner has a checkpointed snapshot parked here.
+func (m *Manager) hasParked(owner string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.parked[owner] != nil
+}
+
+// owns reports whether r belongs to this manager's rank table.
+func (m *Manager) owns(r *pim.Rank) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.entryLocked(r) != nil
+}
+
+// ranks lists the manager's rank table (cluster quarantine propagation).
+func (m *Manager) ranks() []*pim.Rank {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*pim.Rank, len(m.entries))
+	for i := range m.entries {
+		out[i] = m.entries[i].rank
+	}
+	return out
+}
+
+// park adopts a snapshot checkpointed on another shard: the owner's next
+// Acquire here restores it through the ordinary resume path.
+func (m *Manager) park(owner string, snap *pim.Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.parked[owner] = &parkedSnap{snap: snap, from: -1}
+}
+
+// evictOwned checkpoints owner's rank and frees it (NANA, reset-free for
+// the departed owner), returning the snapshot and the checkpoint cost for
+// the caller to charge — the cross-shard half of a migration. Unlike a
+// preemption the cost is not left as rank debt: the migrating tenant pays.
+func (m *Manager) evictOwned(owner string, r *pim.Rank) (*pim.Snapshot, time.Duration, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entryLocked(r)
+	if e == nil || e.state != StateALLO || e.owner != owner {
+		return nil, 0, fmt.Errorf("%w: eviction source (owner %s)", ErrNotAllocated, owner)
+	}
+	if e.pins > 0 {
+		return nil, 0, fmt.Errorf("%w: rank %d has an operation in flight", ErrRankBusy, e.rank.Index())
+	}
+	snap, ckDur, err := m.checkpointLocked(e)
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint rank %d: %w", e.rank.Index(), err)
+	}
+	if st := m.stats[owner]; st != nil {
+		st.slice = 0
+	}
+	e.state = StateNANA
+	e.prevOwner = owner
+	e.owner = ""
+	m.grantWaitersLocked()
+	return snap, ckDur, nil
+}
+
+// evictAny preempts the longest-running unpinned, non-native tenant on
+// behalf of a cluster rebalance: identical to a scheduler preemption
+// (counted as one, checkpoint cost carried as rank debt) except the
+// snapshot is handed to the caller for parking on another shard.
+func (m *Manager) evictAny() (owner string, snap *pim.Snapshot, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var best *entry
+	bestRun := time.Duration(-1)
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.state != StateALLO || e.pins > 0 || e.owner == "" || e.owner == nativeOwner {
+			continue
+		}
+		if m.parked[e.owner] != nil {
+			continue // mid-resume; the parked snapshot must not be clobbered
+		}
+		run := time.Duration(0)
+		if st := m.stats[e.owner]; st != nil {
+			run = st.slice
+		}
+		if run > bestRun {
+			best, bestRun = e, run
+		}
+	}
+	if best == nil {
+		return "", nil, false
+	}
+	s, ckDur, err := m.checkpointLocked(best)
+	if err != nil {
+		return "", nil, false
+	}
+	owner = best.owner
+	st := m.statLocked(owner)
+	st.slice = 0
+	st.preemptions++
+	m.cPreempt.Inc()
+	best.state = StateNANA
+	best.prevOwner = owner
+	best.owner = ""
+	best.debt += ckDur
+	m.grantWaitersLocked()
+	return owner, s, true
+}
+
+// adoptAndRestore allocates a rank and restores a snapshot arriving from
+// another shard onto it, eagerly (the cross-shard migration landing). The
+// snapshot is parked first so the scheduler's victim selection excludes
+// the granted rank mid-restore — and so a failure (no rank, restore
+// fault) leaves the tenant recoverable: the snapshot stays parked and the
+// next Acquire resumes it. The returned duration covers the allocation
+// wait, absorbed checkpoint debt and the restore copy.
+func (m *Manager) adoptAndRestore(owner string, snap *pim.Snapshot) (*pim.Rank, time.Duration, error) {
+	m.park(owner, snap)
+	rank, wait, ck, err := m.alloc(owner, allocHooks{})
+	if err != nil {
+		return nil, wait + ck, err
+	}
+	m.mu.Lock()
+	e := m.entryLocked(rank)
+	restoreFault := m.fault != nil && m.fault.FailRestore != nil && m.fault.FailRestore(rank.Index())
+	m.mu.Unlock()
+	var rsDur time.Duration
+	var rerr error
+	if restoreFault {
+		rerr = fmt.Errorf("injected restore fault on rank %d", rank.Index())
+	} else {
+		rsDur, rerr = rank.Restore(snap)
+	}
+	if rerr != nil {
+		// A half-restored rank holds an unknown mix of tenant bytes (R2).
+		m.mu.Lock()
+		if e != nil && e.state == StateALLO && e.owner == owner {
+			m.quarantineLocked(e)
+		}
+		m.mu.Unlock()
+		return nil, wait + ck, rerr
+	}
+	m.mu.Lock()
+	delete(m.parked, owner)
+	st := m.statLocked(owner)
+	st.restores++
+	m.cRestores.Inc()
+	m.mu.Unlock()
+	return rank, wait + ck + rsDur, nil
+}
+
+// isClosed reports whether the manager has shut down.
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// threads reports the request-pool bound (server support).
+func (m *Manager) threads() int { return m.opts.Threads }
+
+// clusterStats implements the server's Arbiter surface: a plain manager
+// is not a cluster.
+func (m *Manager) clusterStats() (ClusterStats, bool) { return ClusterStats{}, false }

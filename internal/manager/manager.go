@@ -223,7 +223,13 @@ type Manager struct {
 
 // New builds a manager over the machine's ranks; all start NAAV.
 func New(machine *pim.Machine, opts Options) *Manager {
-	ranks := machine.Ranks()
+	return NewOver(machine, machine.Ranks(), opts)
+}
+
+// NewOver builds a manager owning just the given subset of the machine's
+// ranks: the shard constructor of cluster mode (cluster.go). The subset
+// managers of one machine must be disjoint; New covers the whole machine.
+func NewOver(machine *pim.Machine, ranks []*pim.Rank, opts Options) *Manager {
 	entries := make([]entry, len(ranks))
 	for i, r := range ranks {
 		entries[i] = entry{rank: r, state: StateNAAV}

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/pim"
 )
 
 // The wire protocol of the standalone manager daemon: newline-delimited JSON
@@ -16,7 +18,7 @@ import (
 
 // Request is one client message.
 type Request struct {
-	// Op is "alloc", "release", "states", "metrics" or "sched".
+	// Op is "alloc", "release", "states", "metrics", "sched" or "cluster".
 	Op string `json:"op"`
 	// Owner identifies the requesting vUPMEM device for "alloc".
 	Owner string `json:"owner,omitempty"`
@@ -33,9 +35,34 @@ type Response struct {
 	States    []string         `json:"states,omitempty"`
 	Metrics   map[string]int64 `json:"metrics,omitempty"`
 	Sched     []OwnerSched     `json:"sched,omitempty"`
+	Cluster   *ClusterStats    `json:"cluster,omitempty"`
 }
 
-// Server exposes a Manager over a listener. The prototype's thread pool
+// Arbiter is the allocation authority a Server fronts: the single Manager
+// or the sharded Cluster. The unexported methods pin the implementations
+// to this package — the wire server reaches into the blocking allocation
+// core (alloc hooks) and the daemon thread-pool bound, which no external
+// type can provide.
+type Arbiter interface {
+	RankManager
+	Release(r *pim.Rank) error
+	RankByIndex(idx int) (*pim.Rank, bool)
+	States() []RankState
+	Metrics() map[string]int64
+	Sched() []OwnerSched
+	Close()
+
+	alloc(owner string, hooks allocHooks) (*pim.Rank, time.Duration, time.Duration, error)
+	threads() int
+	clusterStats() (ClusterStats, bool)
+}
+
+var (
+	_ Arbiter = (*Manager)(nil)
+	_ Arbiter = (*Cluster)(nil)
+)
+
+// Server exposes an Arbiter over a listener. The prototype's thread pool
 // (8 worker threads by default) bounds in-flight *requests*, not
 // connections: every connection gets its own reader goroutine, and a request
 // occupies a pool slot only while it is actively processed. An allocation
@@ -43,7 +70,7 @@ type Response struct {
 // duration of the wait, so any number of idle persistent clients — or
 // blocked allocations — can coexist with a small pool.
 type Server struct {
-	mgr *Manager
+	mgr Arbiter
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -53,12 +80,12 @@ type Server struct {
 	closed   bool
 }
 
-// NewServer wraps mgr for serving.
-func NewServer(mgr *Manager) *Server {
+// NewServer wraps an arbiter (Manager or Cluster) for serving.
+func NewServer(mgr Arbiter) *Server {
 	return &Server{
 		mgr:   mgr,
 		conns: make(map[net.Conn]struct{}),
-		slots: make(chan struct{}, mgr.opts.Threads),
+		slots: make(chan struct{}, mgr.threads()),
 	}
 }
 
@@ -191,47 +218,154 @@ func (s *Server) dispatch(req Request) Response {
 		return Response{OK: true, Metrics: s.mgr.Metrics()}
 	case "sched":
 		return Response{OK: true, Sched: s.mgr.Sched()}
+	case "cluster":
+		st, ok := s.mgr.clusterStats()
+		if !ok {
+			return Response{Error: "manager is not a cluster"}
+		}
+		return Response{OK: true, Cluster: &st}
 	default:
 		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
 }
 
-// Client talks to a manager daemon over its socket.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	scan *bufio.Scanner
+// DialOptions tunes the client's transient-failure handling. Shard
+// failover restarts the daemon's listener in place, so a client that gives
+// up on the first dial or read error turns every failover into a spurious
+// tenant error; bounded retry with backoff rides the gap out.
+type DialOptions struct {
+	// Retries is the total attempt budget for a dial or a round trip
+	// (including the first attempt). 0 selects 3.
+	Retries int
+	// Backoff is the pause before each re-attempt, growing linearly
+	// (backoff, 2*backoff, ...). 0 selects 10ms.
+	Backoff time.Duration
 }
 
-// Dial connects to the manager socket.
-func Dial(network, addr string) (*Client, error) {
-	conn, err := net.Dial(network, addr)
-	if err != nil {
-		return nil, fmt.Errorf("dial manager: %w", err)
+func (o DialOptions) withDefaults() DialOptions {
+	if o.Retries == 0 {
+		o.Retries = 3
 	}
-	scan := bufio.NewScanner(conn)
-	scan.Buffer(make([]byte, 64<<10), 64<<10)
-	return &Client{conn: conn, enc: json.NewEncoder(conn), scan: scan}, nil
+	if o.Backoff == 0 {
+		o.Backoff = 10 * time.Millisecond
+	}
+	return o
+}
+
+// Client talks to a manager daemon over its socket. A transient dial or
+// read failure is retried with backoff on a fresh connection (bounded by
+// DialOptions), which gives requests at-least-once semantics: a retried
+// "alloc" may be granted twice on the daemon, where the same-owner reuse
+// path coalesces the duplicate. Idempotent verbs retry safely.
+type Client struct {
+	mu      sync.Mutex
+	network string
+	addr    string
+	opts    DialOptions
+	conn    net.Conn
+	enc     *json.Encoder
+	read    *bufio.Reader
+}
+
+// Dial connects to the manager socket with default retry/backoff.
+func Dial(network, addr string) (*Client, error) {
+	return DialWith(network, addr, DialOptions{})
+}
+
+// DialWith connects to the manager socket, retrying transient dial
+// failures per opts (a daemon mid-restart refuses connections briefly).
+func DialWith(network, addr string, opts DialOptions) (*Client, error) {
+	c := &Client{network: network, addr: addr, opts: opts.withDefaults()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.redialLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// redialLocked (re)establishes the connection, consuming the full retry
+// budget. Call with c.mu held.
+func (c *Client) redialLocked() error {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * c.opts.Backoff)
+		}
+		conn, err := net.Dial(c.network, c.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.conn = conn
+		c.enc = json.NewEncoder(conn)
+		c.read = bufio.NewReaderSize(conn, 64<<10)
+		return nil
+	}
+	return fmt.Errorf("dial manager (%d attempts): %w", c.opts.Retries, lastErr)
 }
 
 // Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
+// roundTrip sends one request and reads one reply, retrying transient
+// transport failures on a fresh connection. The final error always wraps
+// the underlying transport error (io.EOF when the server closed mid-reply,
+// not a synthetic "connection closed"), so callers can errors.Is against
+// the real cause.
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * c.opts.Backoff)
+		}
+		if c.conn == nil {
+			if err := c.redialLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, err := c.attemptLocked(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		// The connection is in an unknown state (half-written request,
+		// partial reply): drop it so the next attempt starts clean.
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	return Response{}, fmt.Errorf("manager: round trip failed after %d attempts: %w", c.opts.Retries, lastErr)
+}
+
+// attemptLocked performs one send+receive on the live connection.
+func (c *Client) attemptLocked(req Request) (Response, error) {
 	if err := c.enc.Encode(req); err != nil {
 		return Response{}, fmt.Errorf("send: %w", err)
 	}
-	if !c.scan.Scan() {
-		if err := c.scan.Err(); err != nil {
-			return Response{}, fmt.Errorf("receive: %w", err)
-		}
-		return Response{}, errors.New("manager: connection closed")
+	line, err := c.read.ReadBytes('\n')
+	if err != nil {
+		// Surface the transport error itself — a clean server close is
+		// io.EOF here, which the caller may legitimately match on.
+		return Response{}, fmt.Errorf("receive: connection closed mid-reply: %w", err)
 	}
 	var resp Response
-	if err := json.Unmarshal(c.scan.Bytes(), &resp); err != nil {
+	if err := json.Unmarshal(line, &resp); err != nil {
 		return Response{}, fmt.Errorf("decode: %w", err)
 	}
 	return resp, nil
@@ -297,4 +431,20 @@ func (c *Client) Sched() ([]OwnerSched, error) {
 		return nil, errors.New(resp.Error)
 	}
 	return resp.Sched, nil
+}
+
+// Cluster fetches the daemon's cluster topology and routing counters.
+// A single-manager daemon replies with an error: it is not a cluster.
+func (c *Client) Cluster() (ClusterStats, error) {
+	resp, err := c.roundTrip(Request{Op: "cluster"})
+	if err != nil {
+		return ClusterStats{}, err
+	}
+	if !resp.OK {
+		return ClusterStats{}, errors.New(resp.Error)
+	}
+	if resp.Cluster == nil {
+		return ClusterStats{}, errors.New("manager: empty cluster reply")
+	}
+	return *resp.Cluster, nil
 }

@@ -144,7 +144,7 @@ func (c Config) withDefaults() Config {
 type VM struct {
 	cfg     Config
 	mach    *pim.Machine
-	mgr     *manager.Manager
+	mgr     manager.RankManager
 	mem     *hostmem.Memory
 	path    *kvm.Path
 	loop    *backend.EventLoop
@@ -175,7 +175,7 @@ var _ sdk.Env = (*VM)(nil)
 // NewVM boots a microVM on the given machine: guest RAM, the KVM transition
 // path, the event loop, and one frontend/backend pair per vUPMEM device.
 // Each vUPMEM adds its (<=2 ms) boot-time overhead (Section 3.2).
-func NewVM(mach *pim.Machine, mgr *manager.Manager, cfg Config) (*VM, error) {
+func NewVM(mach *pim.Machine, mgr manager.RankManager, cfg Config) (*VM, error) {
 	cfg = cfg.withDefaults()
 	if cfg.VUPMEMs > mach.NumRanks() && !cfg.Options.Oversubscribe {
 		return nil, fmt.Errorf("vmm: %d vUPMEM devices exceed %d physical ranks",
