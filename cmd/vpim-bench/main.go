@@ -44,6 +44,7 @@ func main() {
 		fig13Out = flag.String("fig13-json", "", "write the Fig 13 step breakdown as JSON to this file")
 		wallOut  = flag.String("wallclock-json", "", "run the wall-clock data-path benchmarks and write the report to this file")
 		wallChk  = flag.Bool("wallclock-check", false, "with -wallclock-json: fail unless the multi-rank parallel path beats the sequential twin (enforced only at GOMAXPROCS >= 4)")
+		bcast    = flag.Bool("bcast-smoke", false, "run the broadcast-deduplication smoke check: fail unless the checksum push collapses rows on the wire")
 	)
 	flag.Parse()
 
@@ -72,6 +73,13 @@ func main() {
 	}
 	if *wallOut != "" {
 		if err := writeWallclockJSON(*wallOut, *wallChk, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "vpim-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *bcast {
+		if err := bench.New(os.Stdout, cfg).BcastSmoke(); err != nil {
 			fmt.Fprintln(os.Stderr, "vpim-bench:", err)
 			os.Exit(1)
 		}

@@ -66,6 +66,7 @@ type Backend struct {
 	cBatchRecords *obs.Counter
 	cFailovers    *obs.Counter
 	cWorkersBusy  *obs.Counter
+	cBcastFanout  *obs.Counter
 }
 
 // FaultPolicy injects data-path failures into the backend for chaos
@@ -116,6 +117,7 @@ func (b *Backend) SetObs(reg *obs.Registry, rec *obs.Recorder) {
 	b.cBatchRecords = reg.Counter("backend.batch.records" + tag)
 	b.cFailovers = reg.Counter("backend.failovers" + tag)
 	b.cWorkersBusy = reg.Counter("backend.workers.busy" + tag)
+	b.cBcastFanout = reg.Counter("backend.bcast.fanout" + tag)
 }
 
 // Rank exposes the attached physical rank (nil when detached).
@@ -429,7 +431,7 @@ func (b *Backend) dispatch(req virtio.Request, chain *virtio.Chain, status []byt
 		return b.handleLaunch(req, status, tl)
 	case virtio.OpSymWrite, virtio.OpSymRead:
 		return b.handleSymbol(req, chain, tl)
-	case virtio.OpWriteRank, virtio.OpReadRank:
+	case virtio.OpWriteRank, virtio.OpReadRank, virtio.OpWriteRankBcast:
 		return b.handleData(req, chain, tl)
 	case virtio.OpRelease:
 		return b.handleRelease(tl)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/hostmem"
 	"repro/internal/obs"
@@ -27,23 +28,58 @@ type row struct {
 	firstOff int
 }
 
-// handleData executes a write-to-rank or read-from-rank: deserialize the
-// matrix, translate guest pages, then move the data with the configured copy
-// engine, 8 DPUs at a time.
+// deserScratch is the pooled per-request decode state: the row slice, the
+// per-row page-count hand-off between the two decode passes, and the page
+// arena every row's pages sub-slice points into. Pooling it keeps the
+// per-request hot path free of allocations whose size the guest controls.
+type deserScratch struct {
+	rows  []row
+	np    []int
+	pages []uint64
+}
+
+var deserPool = sync.Pool{New: func() any { return &deserScratch{} }}
+
+// release returns the scratch to the pool. The page sub-slices alias the
+// arena, so rows are truncated first to drop them.
+func (s *deserScratch) release() {
+	if s == nil {
+		return
+	}
+	for i := range s.rows {
+		s.rows[i].pages = nil
+	}
+	s.rows = s.rows[:0]
+	s.np = s.np[:0]
+	s.pages = s.pages[:0]
+	deserPool.Put(s)
+}
+
+// handleData executes a write-to-rank, read-from-rank or broadcast write:
+// deserialize the matrix, translate guest pages, then move the data with the
+// configured copy engine, 8 DPUs at a time.
 func (b *Backend) handleData(req virtio.Request, chain *virtio.Chain, tl *simtime.Timeline) error {
 	// Note: the driver-centric operation category (op:W-rank / op:R-rank)
 	// is recorded by the frontend, whose span covers this handler; charging
 	// it here as well would double count.
-	rows, _, err := b.deserialize(chain, tl)
+	if req.Op == virtio.OpWriteRankBcast {
+		return b.handleBcast(req, chain, tl)
+	}
+	descs := chain.Descs
+	if len(descs) < 3 {
+		return fmt.Errorf("backend: matrix chain of %d descriptors", len(descs))
+	}
+	sc, _, err := b.deserializeRows(descs[1:len(descs)-1], tl)
 	if err != nil {
 		return err
 	}
+	defer sc.release()
 	rankStart := tl.Now()
 	tl.Span(trace.StepTData, func(tl *simtime.Timeline) {
 		if req.Op == virtio.OpWriteRank && req.Offset == virtio.BatchSentinel {
-			err = b.applyBatch(rows, tl)
+			err = b.applyBatch(sc.rows, tl)
 		} else {
-			err = b.copyRows(req.Op, rows, tl)
+			err = b.copyRows(req.Op, sc.rows, tl)
 		}
 	})
 	if err == nil && b.rec.Enabled() {
@@ -55,20 +91,79 @@ func (b *Backend) handleData(req virtio.Request, chain *virtio.Chain, tl *simtim
 	return err
 }
 
-// deserialize reassembles the transfer matrix from the chain (Fig. 7 layout)
-// and charges the per-DPU deserialization plus the multi-threaded GPA->HVA
-// translation (Fig. 13 "Deser"). Every guest-controlled field is validated
-// before use: the row count against the chain shape, the page count against
-// the page buffer that must hold it (a huge count would otherwise OOM the
-// allocation below), and the first-page offset and size against the page
-// geometry (an offset past the page end would otherwise drive the segment
-// walk out of bounds).
-func (b *Backend) deserialize(chain *virtio.Chain, tl *simtime.Timeline) ([]row, int, error) {
+// handleBcast executes a broadcast write: the chain carries one payload row
+// plus a fan-out descriptor, and the row's bytes replicate onto every listed
+// DPU. The guest pages are deserialized and translated once — that is the
+// whole saving — while the rank-side byte movement pays the full replicated
+// cost, exactly as the per-DPU path would.
+func (b *Backend) handleBcast(req virtio.Request, chain *virtio.Chain, tl *simtime.Timeline) error {
 	descs := chain.Descs
-	if len(descs) < 3 {
-		return nil, 0, fmt.Errorf("backend: matrix chain of %d descriptors", len(descs))
+	// hdr + matrix meta + row meta + page buffer + fan-out + status.
+	if len(descs) < 6 {
+		return fmt.Errorf("backend: broadcast chain of %d descriptors", len(descs))
 	}
-	metaBuf, err := b.mem.Slice(descs[1].GPA, int(descs[1].Len))
+	sc, _, err := b.deserializeRows(descs[1:len(descs)-2], tl)
+	if err != nil {
+		return err
+	}
+	defer sc.release()
+	if len(sc.rows) != 1 {
+		return fmt.Errorf("%w: broadcast carries %d payload rows, want 1", ErrBadDescriptor, len(sc.rows))
+	}
+	fo := descs[len(descs)-2]
+	foBuf, err := b.mem.Slice(fo.GPA, int(fo.Len))
+	if err != nil {
+		return fmt.Errorf("fan-out: %w", err)
+	}
+	ids, err := virtio.DecodeFanout(foBuf)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadDescriptor, err)
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("%w: empty broadcast fan-out", ErrBadDescriptor)
+	}
+	nDPUs := b.rank.NumDPUs()
+	seen := make([]bool, nDPUs)
+	for _, id := range ids {
+		if int(id) >= nDPUs {
+			return fmt.Errorf("%w: fan-out DPU %d outside rank of %d", ErrBadDescriptor, id, nDPUs)
+		}
+		if seen[id] {
+			return fmt.Errorf("%w: fan-out lists DPU %d twice", ErrBadDescriptor, id)
+		}
+		seen[id] = true
+	}
+	tl.Charge(trace.StepDeser, b.model.BcastFanout*simtime.Duration(len(ids)))
+
+	rankStart := tl.Now()
+	tl.Span(trace.StepTData, func(tl *simtime.Timeline) {
+		err = b.copyBcast(sc.rows[0], ids, tl)
+	})
+	if err == nil && b.rec.Enabled() {
+		b.rec.Record(obs.Event{
+			Name: "rank:" + req.Op.String(), Cat: "rank", TID: obs.LaneRank,
+			Req: chain.ReqID, Start: rankStart, Dur: tl.Now() - rankStart,
+		})
+	}
+	return err
+}
+
+// deserializeRows reassembles the transfer matrix from the chain's body
+// descriptors (Fig. 7 layout: body[0] is the matrix metadata, followed by a
+// row-metadata/page-buffer pair per row) and charges the per-DPU
+// deserialization plus the multi-threaded GPA->HVA translation (Fig. 13
+// "Deser"). Every guest-controlled field is validated before use: the row
+// count against the chain shape, the page count against the page buffer that
+// must hold it (a huge count would otherwise OOM the arena below), and the
+// first-page offset and size against the page geometry (an offset past the
+// page end would otherwise drive the segment walk out of bounds). The
+// returned scratch is pooled; the caller must release() it when done with
+// the rows.
+func (b *Backend) deserializeRows(body []virtio.Desc, tl *simtime.Timeline) (*deserScratch, int, error) {
+	if len(body) < 1 {
+		return nil, 0, fmt.Errorf("backend: matrix body of %d descriptors", len(body))
+	}
+	metaBuf, err := b.mem.Slice(body[0].GPA, int(body[0].Len))
 	if err != nil {
 		return nil, 0, fmt.Errorf("matrix metadata: %w", err)
 	}
@@ -76,63 +171,94 @@ func (b *Backend) deserialize(chain *virtio.Chain, tl *simtime.Timeline) ([]row,
 	if err != nil {
 		return nil, 0, err
 	}
-	if nRows64 > uint64(len(descs)) {
-		return nil, 0, fmt.Errorf("%w: %d rows exceed %d descriptors", ErrBadDescriptor, nRows64, len(descs))
+	if nRows64 > uint64(len(body)) {
+		return nil, 0, fmt.Errorf("%w: %d rows exceed %d descriptors", ErrBadDescriptor, nRows64, len(body))
 	}
 	nRows := int(nRows64)
-	if len(descs) != 2+2*nRows+1 {
-		return nil, 0, fmt.Errorf("backend: %d rows but %d descriptors", nRows, len(descs))
+	if len(body) != 1+2*nRows {
+		return nil, 0, fmt.Errorf("backend: %d rows but %d body descriptors", nRows, len(body))
 	}
 
-	rows := make([]row, nRows)
+	sc := deserPool.Get().(*deserScratch)
+	fail := func(err error) (*deserScratch, int, error) {
+		sc.release()
+		return nil, 0, err
+	}
+	if cap(sc.rows) < nRows {
+		sc.rows = make([]row, nRows)
+	} else {
+		sc.rows = sc.rows[:nRows]
+	}
+	if cap(sc.np) < nRows {
+		sc.np = make([]int, nRows)
+	} else {
+		sc.np = sc.np[:nRows]
+	}
+
+	// Pass 1: parse and validate the metadata, summing the page total so the
+	// arena is sized once (appending per row would move the backing array out
+	// from under earlier rows' sub-slices).
 	totalPages := 0
 	for i := 0; i < nRows; i++ {
-		dm := descs[2+2*i]
-		pm := descs[3+2*i]
+		dm := body[1+2*i]
+		pm := body[2+2*i]
 		dmBuf, err := b.mem.Slice(dm.GPA, int(dm.Len))
 		if err != nil {
-			return nil, 0, fmt.Errorf("row %d metadata: %w", i, err)
+			return fail(fmt.Errorf("row %d metadata: %w", i, err))
 		}
 		var vals [virtio.DPUMetaWords]uint64
 		for w := range vals {
 			if vals[w], err = virtio.GetU64(dmBuf, w); err != nil {
-				return nil, 0, err
+				return fail(err)
 			}
 		}
 		nPages := vals[3]
 		if maxPages := uint64(pm.Len) / 8; nPages > maxPages {
-			return nil, 0, fmt.Errorf("%w: row %d claims %d pages but its page buffer holds %d",
-				ErrBadDescriptor, i, nPages, maxPages)
+			return fail(fmt.Errorf("%w: row %d claims %d pages but its page buffer holds %d",
+				ErrBadDescriptor, i, nPages, maxPages))
 		}
 		size, firstOff := vals[1], vals[4]
 		if firstOff >= hostmem.PageSize {
-			return nil, 0, fmt.Errorf("%w: row %d first-page offset %d >= page size %d",
-				ErrBadDescriptor, i, firstOff, hostmem.PageSize)
+			return fail(fmt.Errorf("%w: row %d first-page offset %d >= page size %d",
+				ErrBadDescriptor, i, firstOff, hostmem.PageSize))
 		}
 		// The listed pages must cover [firstOff, firstOff+size); computed
 		// subtraction-side to stay overflow-free under hostile sizes.
 		if capacity := nPages * hostmem.PageSize; size > 0 && (nPages == 0 || size > capacity-firstOff) {
-			return nil, 0, fmt.Errorf("%w: row %d size %d does not fit %d pages at offset %d",
-				ErrBadDescriptor, i, size, nPages, firstOff)
+			return fail(fmt.Errorf("%w: row %d size %d does not fit %d pages at offset %d",
+				ErrBadDescriptor, i, size, nPages, firstOff))
 		}
-		pages := make([]uint64, nPages)
-		pmBuf, err := b.mem.Slice(pm.GPA, int(pm.Len))
-		if err != nil {
-			return nil, 0, fmt.Errorf("row %d pages: %w", i, err)
-		}
-		for p := range pages {
-			if pages[p], err = virtio.GetU64(pmBuf, p); err != nil {
-				return nil, 0, err
-			}
-		}
-		rows[i] = row{
+		sc.rows[i] = row{
 			dpu:      int(vals[0]),
 			size:     int(size),
 			mramOff:  int64(vals[2]),
-			pages:    pages,
 			firstOff: int(firstOff),
 		}
-		totalPages += len(pages)
+		sc.np[i] = int(nPages)
+		totalPages += int(nPages)
+	}
+
+	// Pass 2: fill the page arena and hand each row its sub-slice.
+	if cap(sc.pages) < totalPages {
+		sc.pages = make([]uint64, totalPages)
+	} else {
+		sc.pages = sc.pages[:totalPages]
+	}
+	used := 0
+	for i := 0; i < nRows; i++ {
+		pm := body[2+2*i]
+		pmBuf, err := b.mem.Slice(pm.GPA, int(pm.Len))
+		if err != nil {
+			return fail(fmt.Errorf("row %d pages: %w", i, err))
+		}
+		pages := sc.pages[used : used+sc.np[i]]
+		for p := range pages {
+			if pages[p], err = virtio.GetU64(pmBuf, p); err != nil {
+				return fail(err)
+			}
+		}
+		sc.rows[i].pages = pages
+		used += sc.np[i]
 	}
 
 	b.cRows.Add(int64(nRows))
@@ -142,7 +268,32 @@ func (b *Backend) deserialize(chain *virtio.Chain, tl *simtime.Timeline) ([]row,
 		// GPA->HVA translation parallelized across the translation workers.
 		tl.Workers(totalPages, b.model.TranslateThreads, b.model.TranslatePage)
 	})
-	return rows, totalPages, nil
+	return sc, totalPages, nil
+}
+
+// consultTranslate replays the translate fault hook over one row's pages in
+// the deterministic order the sequential segment walk uses.
+func (b *Backend) consultTranslate(r row) error {
+	if b.fault == nil || b.fault.FailTranslate == nil {
+		return nil
+	}
+	remaining := r.size
+	pageOff := r.firstOff
+	for _, gpa := range r.pages {
+		if remaining <= 0 {
+			break
+		}
+		if b.fault.FailTranslate(gpa) {
+			return fmt.Errorf("backend: injected translate fault at gpa %#x (dpu %d)", gpa, r.dpu)
+		}
+		seg := hostmem.PageSize - pageOff
+		if seg > remaining {
+			seg = remaining
+		}
+		remaining -= seg
+		pageOff = 0
+	}
+	return nil
 }
 
 // consultFaults replays the data path's injected fault hooks in the
@@ -159,24 +310,8 @@ func (b *Backend) consultFaults(rows []row) error {
 		if b.fault.FailCopy != nil && b.fault.FailCopy(r.dpu) {
 			return fmt.Errorf("backend: injected copy fault on dpu %d", r.dpu)
 		}
-		if b.fault.FailTranslate == nil {
-			continue
-		}
-		remaining := r.size
-		pageOff := r.firstOff
-		for _, gpa := range r.pages {
-			if remaining <= 0 {
-				break
-			}
-			if b.fault.FailTranslate(gpa) {
-				return fmt.Errorf("backend: injected translate fault at gpa %#x (dpu %d)", gpa, r.dpu)
-			}
-			seg := hostmem.PageSize - pageOff
-			if seg > remaining {
-				seg = remaining
-			}
-			remaining -= seg
-			pageOff = 0
+		if err := b.consultTranslate(r); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -251,10 +386,93 @@ func (b *Backend) copyRows(op virtio.Op, rows []row, tl *simtime.Timeline) error
 	return nil
 }
 
-// applyBatch parses each row's packed records ([mramOff, len, data] repeated)
-// and applies them. Rows shard across the host worker pool like regular
-// copies; within a row, records apply in order (later records may overwrite
-// earlier ones), and rows target distinct DPUs, so parallel rows commute.
+// bcastSeg is one translated segment of the broadcast payload: the host
+// slice and the MRAM offset it lands at on every fan-out target.
+type bcastSeg struct {
+	host    []byte
+	mramOff int64
+}
+
+// copyBcast replicates one row's guest bytes onto every fan-out target. The
+// guest pages are translated once (the deduplication the broadcast wire
+// shape exists for); the replication itself shards across the host worker
+// pool like regular rows — targets are distinct DPUs, so the writes commute.
+// Fault hooks are consulted in a sequential prologue (fan-out order, then
+// the payload's page walk) so seeded chaos plans replay deterministically.
+func (b *Backend) copyBcast(r row, ids []uint32, tl *simtime.Timeline) error {
+	if b.fault != nil {
+		for _, id := range ids {
+			if b.fault.FailCopy != nil && b.fault.FailCopy(int(id)) {
+				return fmt.Errorf("backend: injected copy fault on dpu %d", id)
+			}
+		}
+		if err := b.consultTranslate(r); err != nil {
+			return err
+		}
+	}
+	segs := make([]bcastSeg, 0, len(r.pages))
+	if err := b.forEachSegment(r, func(host []byte, mramOff int64) error {
+		segs = append(segs, bcastSeg{host: host, mramOff: mramOff})
+		return nil
+	}); err != nil {
+		return err
+	}
+	err := b.runRows(len(ids), func(i int) error {
+		for _, s := range segs {
+			if err := b.rank.WriteDPU(int(ids[i]), s.mramOff, s.host); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// The rank-side byte movement is honest: every replica pays its full
+	// share of RankOpDuration, exactly as the per-DPU path would.
+	sizes := make([]int, len(ids))
+	for i := range sizes {
+		sizes[i] = r.size
+	}
+	b.cCopyBytes.Add(int64(r.size) * int64(len(ids)))
+	b.cBcastFanout.Add(int64(len(ids)))
+	tl.Advance(b.model.RankOpDuration(b.engine, sizes))
+	return nil
+}
+
+// batchBufPool recycles the per-row batch reassembly buffers (worker-local:
+// each pool shard gets and puts its own).
+var batchBufPool = sync.Pool{New: func() any {
+	buf := make([]byte, 0, hostmem.PageSize)
+	return &buf
+}}
+
+// applyRecords parses one reassembled batch region's packed records
+// ([mramOff, len, data] repeated) and applies them to the row's DPU.
+func (b *Backend) applyRecords(r row, buf []byte, bytes, records *int64) error {
+	for pos := 0; pos+16 <= len(buf); {
+		mramOff := int64(binary.LittleEndian.Uint64(buf[pos:]))
+		length := int(binary.LittleEndian.Uint64(buf[pos+8:]))
+		pos += 16
+		if length < 0 || pos+length > len(buf) {
+			return fmt.Errorf("backend: batch record overruns buffer (dpu %d)", r.dpu)
+		}
+		if err := b.rank.WriteDPU(r.dpu, mramOff, buf[pos:pos+length]); err != nil {
+			return err
+		}
+		*bytes += int64(length)
+		*records++
+		pos += (length + 7) &^ 7
+	}
+	return nil
+}
+
+// applyBatch parses each row's packed records and applies them. Rows shard
+// across the host worker pool like regular copies; within a row, records
+// apply in order (later records may overwrite earlier ones), and rows target
+// distinct DPUs, so parallel rows commute. A row whose region is a single
+// contiguous segment is parsed straight from the guest page, skipping the
+// reassembly copy; multi-segment rows reassemble into a pooled buffer.
 func (b *Backend) applyBatch(rows []row, tl *simtime.Timeline) error {
 	if err := b.consultFaults(rows); err != nil {
 		return err
@@ -263,30 +481,25 @@ func (b *Backend) applyBatch(rows []row, tl *simtime.Timeline) error {
 	rowRecords := make([]int64, len(rows))
 	err := b.runRows(len(rows), func(i int) error {
 		r := rows[i]
-		// Reassemble the batch region (it is small: <= 64 pages).
-		buf := make([]byte, 0, r.size)
+		if r.size > 0 && r.firstOff+r.size <= hostmem.PageSize {
+			host, err := b.mem.Translate(r.pages[0])
+			if err != nil {
+				return err
+			}
+			return b.applyRecords(r, host[r.firstOff:r.firstOff+r.size], &rowBytes[i], &rowRecords[i])
+		}
+		pooled := batchBufPool.Get().(*[]byte)
+		buf := (*pooled)[:0]
 		err := b.forEachSegment(r, func(host []byte, _ int64) error {
 			buf = append(buf, host...)
 			return nil
 		})
-		if err != nil {
-			return err
+		if err == nil {
+			err = b.applyRecords(r, buf, &rowBytes[i], &rowRecords[i])
 		}
-		for pos := 0; pos+16 <= len(buf); {
-			mramOff := int64(binary.LittleEndian.Uint64(buf[pos:]))
-			length := int(binary.LittleEndian.Uint64(buf[pos+8:]))
-			pos += 16
-			if length < 0 || pos+length > len(buf) {
-				return fmt.Errorf("backend: batch record overruns buffer (dpu %d)", r.dpu)
-			}
-			if err := b.rank.WriteDPU(r.dpu, mramOff, buf[pos:pos+length]); err != nil {
-				return err
-			}
-			rowBytes[i] += int64(length)
-			rowRecords[i]++
-			pos += (length + 7) &^ 7
-		}
-		return nil
+		*pooled = buf[:0]
+		batchBufPool.Put(pooled)
+		return err
 	})
 	if err != nil {
 		return err

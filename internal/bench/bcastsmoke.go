@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/vmm"
+)
+
+// BcastSmoke runs the checksum workload — which pushes one shared buffer to
+// every DPU — under the broadcast variant and asserts the fast path actually
+// engaged: rows were saved on the wire, the backend fanned the payload back
+// out, and the cross-layer counter identity held. CI runs this so a frontend
+// regression that silently falls back to per-DPU rows (correct output,
+// no savings) fails loudly instead of shipping as a perf regression.
+func (h *Harness) BcastSmoke() error {
+	opts, err := vmm.Variant("vPIM-bcast")
+	if err != nil {
+		return err
+	}
+	size := h.scaledSize(8 << 20)
+	_, vp, err := h.checksum(h.cfg.DPUsPerRank, size, 16, opts)
+	if err != nil {
+		return fmt.Errorf("bcast-smoke: %w", err)
+	}
+	collapsed := vp.Counters["frontend.bcast.collapsed"]
+	saved := vp.Counters["frontend.bcast.rows_saved"]
+	fanout := vp.Counters["backend.bcast.fanout"]
+	if collapsed <= 0 || saved <= 0 {
+		return fmt.Errorf("bcast-smoke: broadcast path never engaged (collapsed=%d rows_saved=%d)",
+			collapsed, saved)
+	}
+	if collapsed+saved != fanout {
+		return fmt.Errorf("bcast-smoke: collapsed+rows_saved=%d+%d != backend fanout=%d",
+			collapsed, saved, fanout)
+	}
+	h.printf("bcast-smoke collapsed=%d rows_saved=%d fanout=%d total=%sms\n",
+		collapsed, saved, fanout, ms(vp.Total))
+	return nil
+}

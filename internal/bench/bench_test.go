@@ -57,8 +57,8 @@ func TestTables(t *testing.T) {
 	if strings.Count(out, "table1 ") != 16 {
 		t.Errorf("Table 1 must list 16 applications:\n%s", out)
 	}
-	if strings.Count(out, "table2 ") != 8 {
-		t.Errorf("Table 2 must list 8 variants:\n%s", out)
+	if strings.Count(out, "table2 ") != 9 {
+		t.Errorf("Table 2 must list 9 variants:\n%s", out)
 	}
 }
 

@@ -219,8 +219,10 @@ type Fig13Export struct {
 
 // Fig13Data runs the Fig. 13 experiment (checksum write-to-rank step
 // breakdown, vPIM-rust vs vPIM-C, plus the pipelined full variant whose
-// counter snapshot records the suppressed-exit/coalesced-IRQ savings) and
-// returns the structured export.
+// counter snapshot records the suppressed-exit/coalesced-IRQ savings, and
+// the broadcast variant — checksum pushes one shared buffer to every DPU,
+// so collapsing shrinks the Page/Ser/Deser lanes while T-data stays put)
+// and returns the structured export.
 func (h *Harness) Fig13Data() (*Fig13Export, error) {
 	size := h.scaledSize(8 << 20)
 	exp := &Fig13Export{
@@ -230,7 +232,7 @@ func (h *Harness) Fig13Data() (*Fig13Export, error) {
 		SizePerDPU:  size,
 		Divisor:     h.cfg.ChecksumDivisor,
 	}
-	for _, variant := range []string{"vPIM-rust", "vPIM-C", "vPIM-pipe"} {
+	for _, variant := range []string{"vPIM-rust", "vPIM-C", "vPIM-pipe", "vPIM-bcast"} {
 		opts, err := vmm.Variant(variant)
 		if err != nil {
 			return nil, err

@@ -34,6 +34,7 @@ type WallclockCase struct {
 	Iterations  int     `json:"iterations"`
 	MultiRank   bool    `json:"multi_rank"`
 	Pipeline    bool    `json:"pipeline"`
+	Bcast       bool    `json:"bcast"`
 	SeqNs       int64   `json:"seq_ns"`
 	ParNs       int64   `json:"par_ns"`
 	Speedup     float64 `json:"speedup"`
@@ -49,16 +50,19 @@ type WallclockReport struct {
 }
 
 // WallclockCases returns the benchmark geometries: the checksum shape (one
-// rank, 60 DPUs — the row worker pool carries all parallelism) and the
-// multi-rank shape (4 ranks — rank fan-out goroutines on top of the pool).
-// Sizes are scaled down from the paper's 8 MB/DPU checksum slices by the
-// harness's checksum divisor so the smoke run stays fast.
+// rank, 60 DPUs — the row worker pool carries all parallelism), the
+// multi-rank shape (4 ranks — rank fan-out goroutines on top of the pool),
+// the pipelined checksum shape, and the broadcast shape (one shared source
+// buffer pushed to all 60 DPUs, collapsed to one wire row with backend
+// fan-out). Sizes are scaled down from the paper's 8 MB/DPU checksum slices
+// by the harness's checksum divisor so the smoke run stays fast.
 func (h *Harness) WallclockCases() []WallclockCase {
 	per := (8 << 20) / h.cfg.ChecksumDivisor
 	return []WallclockCase{
 		{Name: "checksum-rowpool", Ranks: 1, DPUsPerRank: 60, BytesPerDPU: per, Iterations: 3},
 		{Name: "multirank-fanout", Ranks: 4, DPUsPerRank: 16, BytesPerDPU: per, Iterations: 3, MultiRank: true},
 		{Name: "checksum-pipelined", Ranks: 1, DPUsPerRank: 60, BytesPerDPU: per, Iterations: 3, Pipeline: true},
+		{Name: "checksum-bcast", Ranks: 1, DPUsPerRank: 60, BytesPerDPU: per, Iterations: 3, Bcast: true},
 	}
 }
 
@@ -76,6 +80,7 @@ func wallclockVM(c WallclockCase, workers int) (*vmm.VM, error) {
 	opts := vmm.Full()
 	opts.HostWorkers = workers
 	opts.Pipeline = c.Pipeline
+	opts.Bcast = c.Bcast
 	return vmm.NewVM(mach, mgr, vmm.Config{
 		Name: "wallclock", VCPUs: 16, VUPMEMs: c.Ranks, Options: opts,
 	})
@@ -103,10 +108,16 @@ func wallclockBuffers(vm *vmm.VM, c WallclockCase) (src, dst []hostmem.Buffer, e
 
 // wallclockIter performs one parallel push + parallel pull over the whole
 // set: the dpu_push_xfer pattern whose host-side cost the worker pool and
-// rank fan-out attack.
+// rank fan-out attack. A broadcast case prepares the shared src[0] for every
+// DPU, so the push collapses into one wire row; the pull always reads into
+// per-DPU buffers (reads never collapse).
 func wallclockIter(set *sdk.Set, c WallclockCase, src, dst []hostmem.Buffer) error {
 	for i := range src {
-		if err := set.PrepareXfer(i, src[i]); err != nil {
+		buf := src[i]
+		if c.Bcast {
+			buf = src[0]
+		}
+		if err := set.PrepareXfer(i, buf); err != nil {
 			return err
 		}
 	}
@@ -144,7 +155,11 @@ func RunWallclockCase(c WallclockCase, workers int) (int64, error) {
 		return 0, err
 	}
 	for i := range src {
-		if !bytes.Equal(src[i].Data, dst[i].Data) {
+		want := src[i]
+		if c.Bcast {
+			want = src[0]
+		}
+		if !bytes.Equal(want.Data, dst[i].Data) {
 			return 0, fmt.Errorf("wallclock %s: readback mismatch on DPU %d", c.Name, i)
 		}
 	}

@@ -50,8 +50,57 @@ func BenchmarkWallclockMultiRankPar(b *testing.B) {
 	benchCase(b, wallclockCase(b, "multirank-fanout"), 0)
 }
 
-// TestWallclockCasesProduceReport smoke-tests the report path: both cases
-// run, readbacks verify, and the JSON document carries both rows.
+func BenchmarkWallclockBcastSeq(b *testing.B) {
+	benchCase(b, wallclockCase(b, "checksum-bcast"), 1)
+}
+
+func BenchmarkWallclockBcastPar(b *testing.B) {
+	benchCase(b, wallclockCase(b, "checksum-bcast"), 0)
+}
+
+// benchIterAllocs measures steady-state allocations per push+pull iteration:
+// the VM, DPU set and buffers are booted once outside the timed loop, so the
+// allocs/op column isolates the per-transfer hot path (the pooled backend
+// deserialization scratch, the pooled batch reassembly buffers and the
+// frontend's reused row slice).
+func benchIterAllocs(b *testing.B, name string) {
+	b.Helper()
+	c := wallclockCase(b, name)
+	vm, err := wallclockVM(c, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := vm.AllocSet(c.Ranks * c.DPUsPerRank)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer set.Free()
+	src, dst, err := wallclockBuffers(vm, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := wallclockIter(set, c, src, dst); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wallclockIter(set, c, src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIterAllocsChecksum(b *testing.B) {
+	benchIterAllocs(b, "checksum-rowpool")
+}
+
+func BenchmarkIterAllocsBcast(b *testing.B) {
+	benchIterAllocs(b, "checksum-bcast")
+}
+
+// TestWallclockCasesProduceReport smoke-tests the report path: every case
+// runs, readbacks verify, and the JSON document carries every row.
 func TestWallclockCasesProduceReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("wall-clock cases move ~100 MB per run")
@@ -61,8 +110,8 @@ func TestWallclockCasesProduceReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Cases) != 3 {
-		t.Fatalf("report has %d cases, want 3", len(rep.Cases))
+	if len(rep.Cases) != 4 {
+		t.Fatalf("report has %d cases, want 4", len(rep.Cases))
 	}
 	for _, c := range rep.Cases {
 		if c.SeqNs <= 0 || c.ParNs <= 0 {

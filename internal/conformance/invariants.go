@@ -32,6 +32,8 @@ import (
 //     frontend.cache.hits + frontend.cache.misses;
 //   - every batched record is applied: frontend.batch.appends equals
 //     backend.batch.records, and a flush never happens without records;
+//   - every collapsed broadcast fans back out: frontend.bcast.collapsed +
+//     frontend.bcast.rows_saved equals backend.bcast.fanout;
 //   - a disabled optimization never counts: prefetch/batch counters are
 //     zero when the corresponding option is off, pipelining off means zero
 //     suppression and one kick per chain, and with the default batch
@@ -108,6 +110,22 @@ func CheckCounters(snap map[string]int64, opts vmm.Options) error {
 	}
 	if opts.Batch && opts.Driver.BatchPages == 0 && fallbacks != 0 {
 		return fmt.Errorf("invariant: %d batch fallbacks under default geometry", fallbacks)
+	}
+
+	// Every collapsed broadcast fans back out on the backend: one collapsed
+	// message carrying n targets saved n-1 rows and produced n fan-out
+	// replications, so collapsed + rows_saved == fanout — and all three are
+	// zero when the optimization is off.
+	collapsed := get("frontend.bcast.collapsed")
+	rowsSaved := get("frontend.bcast.rows_saved")
+	fanout := get("backend.bcast.fanout")
+	if collapsed+rowsSaved != fanout {
+		return fmt.Errorf("invariant: bcast.collapsed+rows_saved=%d+%d != backend.bcast.fanout=%d",
+			collapsed, rowsSaved, fanout)
+	}
+	if !opts.Bcast && collapsed+rowsSaved+fanout != 0 {
+		return fmt.Errorf("invariant: broadcast disabled but bcast counters %d/%d/%d",
+			collapsed, rowsSaved, fanout)
 	}
 	return nil
 }

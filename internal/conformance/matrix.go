@@ -76,7 +76,19 @@ func Configs() []Config {
 		// but every Alloc is routed across two manager shards. Digest and
 		// manager.* counter totals must match a single-manager twin exactly.
 		{Name: "vPIM-cluster", Opts: vmm.Full(), ClusterShards: 2},
+		// Broadcast deduplication: writes sharing one backing buffer collapse
+		// to a single wire row plus a backend fan-out. The digest must stay
+		// bit-exact, the collapsed/rows_saved/fanout counter identity must
+		// hold, and RunMatrix asserts the clock never exceeds the full
+		// variant's (deduplication only removes host-side charges).
+		{Name: "vPIM-bcast", Opts: bcastOpts(vmm.Full()), Trace: true},
 	}
+}
+
+// bcastOpts returns opts with broadcast deduplication enabled.
+func bcastOpts(opts vmm.Options) vmm.Options {
+	opts.Bcast = true
+	return opts
 }
 
 // pipelineOpts returns opts with the submission pipeline enabled.
@@ -201,6 +213,12 @@ func RunMatrix(apps []prim.App, report func(format string, args ...any)) error {
 		// so pipelining the full variant can only remove exit/IRQ charges.
 		if pipe, sync := totals["vPIM-pipe"], totals["vPIM"]; pipe > sync {
 			return fmt.Errorf("%s: pipelined clock %v exceeds synchronous clock %v", app.Name, pipe, sync)
+		}
+		// Broadcast deduplication only removes page-management, serialization
+		// and translation charges; rank-side byte movement is unchanged, so
+		// the collapsed variant can never be slower than the full one.
+		if bc, sync := totals["vPIM-bcast"], totals["vPIM"]; bc > sync {
+			return fmt.Errorf("%s: broadcast clock %v exceeds synchronous clock %v", app.Name, bc, sync)
 		}
 	}
 	return nil

@@ -105,6 +105,12 @@ type Model struct {
 	// CacheHit is the frontend's fixed cost of serving a read from the
 	// prefetch cache (on top of the data memcpy).
 	CacheHit time.Duration
+	// BcastFanout is the per-DPU-id cost of decoding and validating the
+	// broadcast fan-out descriptor on the backend. It is charged in the
+	// deserialization lane: the replicated rank-side byte movement keeps its
+	// full RankOpDuration, so broadcast savings stay confined to the page/
+	// serialize/translate work that is genuinely deduplicated.
+	BcastFanout time.Duration
 
 	// --- DPU hardware (internal/pim).
 
@@ -177,6 +183,7 @@ func Default() Model {
 		BatchAppend: 150 * time.Nanosecond,
 		BatchRecord: 200 * time.Nanosecond,
 		CacheHit:    300 * time.Nanosecond,
+		BcastFanout: 10 * time.Nanosecond,
 
 		DPUCyclesPerSec:    350e6,
 		MRAMBytesPerSec:    700e6,

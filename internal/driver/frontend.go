@@ -52,6 +52,11 @@ type Options struct {
 	Pipeline bool
 	// PipelineDepth overrides the window size (chains per kick).
 	PipelineDepth int
+	// Bcast enables broadcast deduplication: a write-to-rank whose rows all
+	// share one backing buffer collapses to a single wire row plus a fan-out
+	// descriptor, paying page management, serialization and translation once
+	// instead of once per DPU. Rank-side byte movement is unchanged.
+	Bcast bool
 }
 
 func (o Options) withDefaults() Options {
@@ -96,6 +101,11 @@ type Frontend struct {
 	statusBuf hostmem.Buffer
 	scratch   matrixScratch
 	symBuf    hostmem.Buffer
+	// Reusable driver-side scratch: the matrix row slice sendMatrix builds
+	// per call, and the broadcast detector's id list and seen set.
+	rowScratch []matrixRow
+	bcastIDs   []uint32
+	bcastSeen  []bool
 
 	cache *prefetchCache
 	batch *batchBuffer
@@ -121,6 +131,8 @@ type Frontend struct {
 	cBatchAppends   *obs.Counter
 	cBatchFlushes   *obs.Counter
 	cBatchFallbacks *obs.Counter
+	cBcastCollapsed *obs.Counter
+	cBcastRowsSaved *obs.Counter
 }
 
 // TestHookBatchClip re-introduces the pre-fix batch clipping bug for
@@ -182,6 +194,8 @@ func (f *Frontend) SetObs(reg *obs.Registry, rec *obs.Recorder) {
 	f.cBatchAppends = reg.Counter("frontend.batch.appends" + tag)
 	f.cBatchFlushes = reg.Counter("frontend.batch.flushes" + tag)
 	f.cBatchFallbacks = reg.Counter("frontend.batch.fallbacks" + tag)
+	f.cBcastCollapsed = reg.Counter("frontend.bcast.collapsed" + tag)
+	f.cBcastRowsSaved = reg.Counter("frontend.bcast.rows_saved" + tag)
 }
 
 // ID reports the device identifier (used as the manager owner string).
@@ -315,6 +329,11 @@ func (f *Frontend) setupBuffers() error {
 	}
 	if f.symBuf, err = f.mem.Alloc(hostmem.PageSize); err != nil {
 		return err
+	}
+	f.rowScratch = make([]matrixRow, 0, nDPUs)
+	if f.opts.Bcast {
+		f.bcastIDs = make([]uint32, 0, nDPUs)
+		f.bcastSeen = make([]bool, nDPUs)
 	}
 	if f.opts.Prefetch {
 		if f.cache, err = newPrefetchCache(f.mem, nDPUs, f.opts.PrefetchPages); err != nil {

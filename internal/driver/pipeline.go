@@ -31,12 +31,18 @@ type matrixScratch struct {
 	meta     hostmem.Buffer
 	dpuMeta  []hostmem.Buffer
 	pageBufs []hostmem.Buffer
+	// fanout backs the broadcast fan-out descriptor (count + packed DPU
+	// ids); sized for a full-rank broadcast.
+	fanout hostmem.Buffer
 }
 
 func newMatrixScratch(mem *hostmem.Memory, nDPUs, pagesPerDPU int) (matrixScratch, error) {
 	var sc matrixScratch
 	var err error
 	if sc.meta, err = mem.Alloc(8 * virtio.MatrixMetaWords); err != nil {
+		return sc, err
+	}
+	if sc.fanout, err = mem.Alloc(virtio.FanoutSize(nDPUs)); err != nil {
 		return sc, err
 	}
 	sc.dpuMeta = make([]hostmem.Buffer, nDPUs)
@@ -189,6 +195,17 @@ func (f *Frontend) stageSym(req virtio.Request, src []byte, tl *simtime.Timeline
 // synchronous path's semantics.
 func (f *Frontend) stageWrite(entries []sdk.DPUXfer, off int64, length int, tl *simtime.Timeline) error {
 	slot := f.nextSlot()
+	// A broadcast stages one payload copy: the single wire row pins the
+	// shared bytes in its slot buffer, and the fan-out descriptor carries
+	// the targets. One guest memcpy instead of one per DPU.
+	if ids, ok := f.bcastTargets(virtio.OpWriteRank, entries); ok {
+		e := entries[0]
+		copy(slot.data[e.DPU].Data[:length], e.Buf.Data[:length])
+		tl.Advance(f.model.CopyDuration(cost.EngineC, int64(length)))
+		rows := append(f.rowScratch[:0],
+			matrixRow{dpu: e.DPU, buf: slot.data[e.DPU], size: length, mramOff: off})
+		return f.stageBcast(slot, rows, ids, off, length, tl)
+	}
 	rows := make([]matrixRow, len(entries))
 	for i, e := range entries {
 		if e.DPU < 0 || e.DPU >= len(slot.data) {

@@ -19,9 +19,22 @@ type matrixRow struct {
 }
 
 // sendMatrix serializes a uniform transfer (same offset and length on every
-// DPU) and pushes it through the virtqueue.
+// DPU) and pushes it through the virtqueue. The row slice is frontend
+// scratch, sized from the DPU count at attach, so the hot path allocates
+// nothing per call. A write whose rows all share one backing buffer takes
+// the broadcast fast path instead.
 func (f *Frontend) sendMatrix(op virtio.Op, entries []sdk.DPUXfer, off int64, length int, tl *simtime.Timeline) error {
-	rows := make([]matrixRow, len(entries))
+	if ids, ok := f.bcastTargets(op, entries); ok {
+		rows := append(f.rowScratch[:0],
+			matrixRow{dpu: entries[0].DPU, buf: entries[0].Buf, size: length, mramOff: off})
+		return f.sendBcast(rows, ids, off, length, tl)
+	}
+	rows := f.rowScratch
+	if cap(rows) < len(entries) {
+		rows = make([]matrixRow, 0, len(entries))
+		f.rowScratch = rows
+	}
+	rows = rows[:len(entries)]
 	for i, e := range entries {
 		rows[i] = matrixRow{dpu: e.DPU, buf: e.Buf, size: length, mramOff: off}
 	}

@@ -60,6 +60,13 @@ const (
 	// OpAttach asks the backend to attach a physical rank (through the
 	// manager) if none is attached.
 	OpAttach
+	// OpWriteRankBcast transfers one serialized matrix row to many DPUs: the
+	// chain carries a single payload row plus a fan-out descriptor (count +
+	// packed DPU ids, see EncodeFanout) and the backend replicates the row
+	// onto every listed DPU. Emitted by the frontend when the guest prepared
+	// the same backing buffer for several DPUs, deduplicating the page
+	// management, serialization and translation work.
+	OpWriteRankBcast
 )
 
 // String implements fmt.Stringer for logs and traces.
@@ -85,6 +92,8 @@ func (o Op) String() string {
 		return "release"
 	case OpAttach:
 		return "attach"
+	case OpWriteRankBcast:
+		return "write-rank-bcast"
 	default:
 		return fmt.Sprintf("op(%d)", uint32(o))
 	}

@@ -93,6 +93,59 @@ const BroadcastDPU = ^uint32(0)
 // instead of raw MRAM data; see the frontend's request batching.
 const BatchSentinel = ^uint64(0)
 
+// Fan-out descriptor wire layout (OpWriteRankBcast). All values are u32
+// little endian:
+//
+//	fan-out buffer: [ count, dpuId0, dpuId1, ... ]
+//
+// The descriptor names the DPUs the single payload row replicates onto. The
+// count is validated against the buffer so a hostile guest cannot size an
+// allocation with an unchecked word; id range and uniqueness are the
+// backend's to check against the attached rank's geometry.
+const (
+	// FanoutHeaderSize is the byte size of the fan-out count word.
+	FanoutHeaderSize = 4
+	// FanoutIDSize is the byte size of one packed DPU id.
+	FanoutIDSize = 4
+)
+
+// FanoutSize reports the encoded byte size of a fan-out descriptor over n
+// DPU ids.
+func FanoutSize(n int) int { return FanoutHeaderSize + n*FanoutIDSize }
+
+// EncodeFanout serializes the DPU id list into buf and returns the bytes
+// written.
+func EncodeFanout(buf []byte, ids []uint32) (int, error) {
+	n := FanoutSize(len(ids))
+	if len(buf) < n {
+		return 0, fmt.Errorf("virtio: fan-out buffer too small: %d < %d", len(buf), n)
+	}
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], uint32(len(ids)))
+	for i, id := range ids {
+		le.PutUint32(buf[FanoutHeaderSize+FanoutIDSize*i:], id)
+	}
+	return n, nil
+}
+
+// DecodeFanout parses an encoded fan-out descriptor. The allocation is
+// bounded by the buffer length, never by the guest-controlled count alone.
+func DecodeFanout(buf []byte) ([]uint32, error) {
+	if len(buf) < FanoutHeaderSize {
+		return nil, fmt.Errorf("virtio: truncated fan-out: %d bytes", len(buf))
+	}
+	le := binary.LittleEndian
+	count := le.Uint32(buf[0:])
+	if max := uint32((len(buf) - FanoutHeaderSize) / FanoutIDSize); count > max {
+		return nil, fmt.Errorf("virtio: fan-out count %d exceeds buffer capacity %d", count, max)
+	}
+	ids := make([]uint32, count)
+	for i := range ids {
+		ids[i] = le.Uint32(buf[FanoutHeaderSize+FanoutIDSize*i:])
+	}
+	return ids, nil
+}
+
 // PutU64s encodes a u64 slice into bytes (the page/metadata buffers are
 // arrays of 64-bit unsigned integers per the spec).
 func PutU64s(dst []byte, vals []uint64) error {

@@ -57,6 +57,10 @@ type Options struct {
 	// conformance matrix compares the two. Virtual time never depends on
 	// this knob.
 	HostWorkers int
+	// Bcast enables broadcast deduplication: a write-to-rank whose rows all
+	// share one backing buffer travels as one wire row plus a fan-out
+	// descriptor, and the backend replicates it across the listed DPUs.
+	Bcast bool
 	// Driver overrides optimization geometry (cache/batch sizes).
 	Driver driver.Options
 }
@@ -94,15 +98,20 @@ func Variant(name string) (Options, error) {
 		o := Full()
 		o.Pipeline = true
 		return o, nil
+	case "vPIM-bcast":
+		o := Full()
+		o.Bcast = true
+		return o, nil
 	default:
 		return Options{}, fmt.Errorf("vmm: unknown variant %q", name)
 	}
 }
 
 // Variants lists the Table 2 configurations in order, plus the pipelined
-// submission-window variant layered on the full configuration.
+// submission-window and broadcast-deduplication variants layered on the
+// full configuration.
 func Variants() []string {
-	return []string{"vPIM-rust", "vPIM-C", "vPIM+P", "vPIM+B", "vPIM+PB", "vPIM-Seq", "vPIM", "vPIM-pipe"}
+	return []string{"vPIM-rust", "vPIM-C", "vPIM+P", "vPIM+B", "vPIM+PB", "vPIM-Seq", "vPIM", "vPIM-pipe", "vPIM-bcast"}
 }
 
 // Config describes one microVM.
@@ -225,6 +234,7 @@ func NewVM(mach *pim.Machine, mgr manager.RankManager, cfg Config) (*VM, error) 
 	if cfg.Options.PipelineDepth != 0 {
 		dopts.PipelineDepth = cfg.Options.PipelineDepth
 	}
+	dopts.Bcast = cfg.Options.Bcast
 	for i := 0; i < cfg.VUPMEMs; i++ {
 		id := fmt.Sprintf("%s/vupmem%d", cfg.Name, i)
 		tq := virtio.NewQueue("transferq", virtio.TransferQueueSize)
